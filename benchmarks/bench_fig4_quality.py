@@ -1,0 +1,83 @@
+"""Figure 4 (Exp-1): F1-score of every method on networks with ground truth.
+
+Regenerates the methods × datasets F1 grid and asserts the figure's headline
+shape: the BCC methods dominate the label-agnostic baselines on every network,
+and L2P-BCC is at least as good as Online-BCC on most networks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.eval.harness import METHOD_NAMES, evaluate_methods, run_method
+from repro.eval.queries import QuerySpec
+from repro.eval.reporting import figure_table
+
+# Quality evaluation runs on the networks with planted ground truth that are
+# cheap enough to sweep with every method (the larger SNAP stand-ins appear in
+# the efficiency figure).
+QUALITY_NETWORKS = ("baidu-1", "baidu-2", "amazon", "dblp")
+QUERIES_PER_NETWORK = 4
+
+
+@pytest.fixture(scope="module")
+def quality_grid(benchmark_datasets) -> Dict[str, Dict[str, object]]:
+    summaries = {}
+    for name in QUALITY_NETWORKS:
+        bundle = benchmark_datasets[name]
+        summaries[name] = evaluate_methods(
+            bundle,
+            methods=METHOD_NAMES,
+            spec=QuerySpec(count=QUERIES_PER_NETWORK),
+            seed=4,
+        )
+    write_result(
+        "figure4_quality",
+        figure_table(
+            summaries,
+            metric="avg_f1",
+            title="Figure 4: average F1-score per method and network",
+            datasets=list(QUALITY_NETWORKS),
+            methods=list(METHOD_NAMES),
+        ),
+    )
+    return summaries
+
+
+def test_fig4_bcc_methods_beat_baselines(quality_grid, benchmark_datasets, benchmark):
+    """Benchmark one representative quality evaluation query (LP-BCC, Baidu-1)."""
+    bundle = benchmark_datasets["baidu-1"]
+    q_left, q_right = bundle.default_query()
+    outcome = benchmark(run_method, "LP-BCC", bundle, q_left, q_right)
+    assert outcome.found
+    wins = 0
+    for dataset, per_method in quality_grid.items():
+        best_baseline = max(per_method["PSA"].avg_f1, per_method["CTC"].avg_f1)
+        best_bcc = max(
+            per_method["Online-BCC"].avg_f1,
+            per_method["LP-BCC"].avg_f1,
+            per_method["L2P-BCC"].avg_f1,
+        )
+        if best_bcc >= best_baseline:
+            wins += 1
+        # Even on an unlucky small workload the BCC methods must stay close.
+        assert best_bcc >= best_baseline - 0.15, dataset
+    # The paper's headline shape: BCC methods win on (at least the vast
+    # majority of) the evaluated networks; with only a handful of queries per
+    # network we require a strict win on more than half of them.
+    assert wins >= len(quality_grid) - 1
+
+
+def test_fig4_l2p_is_competitive(quality_grid, benchmark_datasets, benchmark):
+    """Benchmark the L2P-BCC query; assert L2P-BCC stays within reach of the
+    best BCC variant on every network (the paper reports it as best on most)."""
+    bundle = benchmark_datasets["baidu-1"]
+    q_left, q_right = bundle.default_query()
+    outcome = benchmark(run_method, "L2P-BCC", bundle, q_left, q_right)
+    assert outcome.found
+    for dataset, per_method in quality_grid.items():
+        best = max(summary.avg_f1 for summary in per_method.values())
+        assert per_method["L2P-BCC"].avg_f1 >= best - 0.25, dataset

@@ -1,0 +1,76 @@
+"""Figure 7 (Exp-3): query time of the BCC variants vs. query inter-distance l.
+
+Sweeps the hop distance between the two query vertices (l = 1..4) on the
+Baidu-1-like and DBLP-like networks.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.core.bc_index import BCIndex
+from repro.eval.harness import BCC_METHOD_NAMES, run_method
+from repro.eval.queries import QuerySpec, generate_query_pairs
+from repro.eval.reporting import sweep_table
+
+INTER_DISTANCES = (1, 2, 3, 4)
+QUERIES_PER_POINT = 2
+
+
+def sweep_inter_distance(bundle) -> Dict[str, Dict[int, float]]:
+    index = BCIndex(bundle.graph)  # the offline BCindex is shared across queries
+    series: Dict[str, Dict[int, float]] = {m: {} for m in BCC_METHOD_NAMES}
+    for distance in INTER_DISTANCES:
+        pairs = generate_query_pairs(
+            bundle,
+            QuerySpec(count=QUERIES_PER_POINT, inter_distance=distance),
+            seed=7,
+        )
+        if not pairs:
+            continue
+        for method in BCC_METHOD_NAMES:
+            start = time.perf_counter()
+            for q_left, q_right in pairs:
+                run_method(method, bundle, q_left, q_right, index=index)
+            series[method][distance] = (time.perf_counter() - start) / len(pairs)
+    return series
+
+
+@pytest.fixture(scope="module")
+def inter_distance_series(baidu_like, dblp_like):
+    all_series = {}
+    for name, bundle in (("baidu-1", baidu_like), ("dblp", dblp_like)):
+        series = sweep_inter_distance(bundle)
+        all_series[name] = series
+        write_result(
+            f"figure7_inter_distance_{name}",
+            sweep_table(
+                series,
+                parameter_name="inter-distance l",
+                title=f"Figure 7 ({name}): query time (s) vs. query inter-distance",
+            ),
+        )
+    return all_series
+
+
+def test_fig7_series_cover_reachable_distances(inter_distance_series, baidu_like, benchmark):
+    """Benchmark the default l = 1 point and check the sweep produced data."""
+    pairs = generate_query_pairs(baidu_like, QuerySpec(count=1, inter_distance=1), seed=7)
+    q_left, q_right = pairs[0]
+    benchmark(run_method, "L2P-BCC", baidu_like, q_left, q_right)
+    for name, series in inter_distance_series.items():
+        for method in BCC_METHOD_NAMES:
+            assert 1 in series[method], (name, method)
+
+
+def test_fig7_distance_two_queries_still_answered(dblp_like, benchmark):
+    pairs = generate_query_pairs(dblp_like, QuerySpec(count=1, inter_distance=2), seed=7)
+    if not pairs:
+        pytest.skip("no distance-2 cross-label pair in this instance")
+    q_left, q_right = pairs[0]
+    outcome = benchmark(run_method, "LP-BCC", dblp_like, q_left, q_right)
+    assert outcome.seconds >= 0

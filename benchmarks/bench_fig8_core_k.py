@@ -1,0 +1,74 @@
+"""Figure 8 (Exp-4): query time of the BCC variants vs. the core value k.
+
+Sweeps k (applied to both k1 and k2, "due to their symmetry property") over
+2..6 on the Baidu-1-like and DBLP-like networks.  The paper's observation to
+reproduce: larger k yields a smaller candidate G0 and therefore less running
+time for the global methods.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.core.bc_index import BCIndex
+from repro.eval.harness import BCC_METHOD_NAMES, run_method
+from repro.eval.queries import QuerySpec, generate_query_pairs
+from repro.eval.reporting import sweep_table
+
+CORE_VALUES = (2, 3, 4, 5, 6)
+QUERIES_PER_POINT = 2
+
+
+def sweep_core_value(bundle) -> Dict[str, Dict[int, float]]:
+    index = BCIndex(bundle.graph)  # the offline BCindex is shared across queries
+    pairs = generate_query_pairs(bundle, QuerySpec(count=QUERIES_PER_POINT), seed=8)
+    series: Dict[str, Dict[int, float]] = {m: {} for m in BCC_METHOD_NAMES}
+    if not pairs:
+        return series
+    for k in CORE_VALUES:
+        for method in BCC_METHOD_NAMES:
+            start = time.perf_counter()
+            for q_left, q_right in pairs:
+                run_method(method, bundle, q_left, q_right, k=k, index=index)
+            series[method][k] = (time.perf_counter() - start) / len(pairs)
+    return series
+
+
+@pytest.fixture(scope="module")
+def core_value_series(baidu_like, dblp_like):
+    all_series = {}
+    for name, bundle in (("baidu-1", baidu_like), ("dblp", dblp_like)):
+        series = sweep_core_value(bundle)
+        all_series[name] = series
+        write_result(
+            f"figure8_core_k_{name}",
+            sweep_table(
+                series,
+                parameter_name="core value k",
+                title=f"Figure 8 ({name}): query time (s) vs. core value k",
+            ),
+        )
+    return all_series
+
+
+def test_fig8_series_complete(core_value_series, baidu_like, benchmark):
+    """Benchmark the k = 4 point of the sweep for LP-BCC."""
+    pairs = generate_query_pairs(baidu_like, QuerySpec(count=1), seed=8)
+    q_left, q_right = pairs[0]
+    benchmark(run_method, "LP-BCC", baidu_like, q_left, q_right, k=4)
+    for name, series in core_value_series.items():
+        for method in BCC_METHOD_NAMES:
+            assert len(series[method]) == len(CORE_VALUES), (name, method)
+
+
+def test_fig8_online_bcc_not_slower_for_large_k(core_value_series, dblp_like, benchmark):
+    """Larger k shrinks G0, so Online-BCC at k = 6 must not be slower than at k = 2."""
+    pairs = generate_query_pairs(dblp_like, QuerySpec(count=1), seed=8)
+    q_left, q_right = pairs[0]
+    benchmark(run_method, "Online-BCC", dblp_like, q_left, q_right, k=6)
+    series = core_value_series["dblp"]["Online-BCC"]
+    assert series[6] <= series[2] * 1.5

@@ -1,0 +1,74 @@
+"""Figure 9 (Exp-4): query time of the BCC variants vs. the butterfly value b.
+
+Sweeps b over 1..5 on the Baidu-1-like and DBLP-like networks.  The paper
+reports stable running time across b; the assertion below checks the series
+stays within a small factor between its fastest and slowest point.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.core.bc_index import BCIndex
+from repro.eval.harness import BCC_METHOD_NAMES, run_method
+from repro.eval.queries import QuerySpec, generate_query_pairs
+from repro.eval.reporting import sweep_table
+
+BUTTERFLY_VALUES = (1, 2, 3, 4, 5)
+QUERIES_PER_POINT = 2
+
+
+def sweep_butterfly_value(bundle) -> Dict[str, Dict[int, float]]:
+    index = BCIndex(bundle.graph)  # the offline BCindex is shared across queries
+    pairs = generate_query_pairs(bundle, QuerySpec(count=QUERIES_PER_POINT), seed=9)
+    series: Dict[str, Dict[int, float]] = {m: {} for m in BCC_METHOD_NAMES}
+    if not pairs:
+        return series
+    for b in BUTTERFLY_VALUES:
+        for method in BCC_METHOD_NAMES:
+            start = time.perf_counter()
+            for q_left, q_right in pairs:
+                run_method(method, bundle, q_left, q_right, b=b, index=index)
+            series[method][b] = (time.perf_counter() - start) / len(pairs)
+    return series
+
+
+@pytest.fixture(scope="module")
+def butterfly_series(baidu_like, dblp_like):
+    all_series = {}
+    for name, bundle in (("baidu-1", baidu_like), ("dblp", dblp_like)):
+        series = sweep_butterfly_value(bundle)
+        all_series[name] = series
+        write_result(
+            f"figure9_butterfly_b_{name}",
+            sweep_table(
+                series,
+                parameter_name="butterfly value b",
+                title=f"Figure 9 ({name}): query time (s) vs. butterfly value b",
+            ),
+        )
+    return all_series
+
+
+def test_fig9_series_complete(butterfly_series, baidu_like, benchmark):
+    """Benchmark the default b = 1 point for L2P-BCC."""
+    pairs = generate_query_pairs(baidu_like, QuerySpec(count=1), seed=9)
+    q_left, q_right = pairs[0]
+    benchmark(run_method, "L2P-BCC", baidu_like, q_left, q_right, b=1)
+    for name, series in butterfly_series.items():
+        for method in BCC_METHOD_NAMES:
+            assert len(series[method]) == len(BUTTERFLY_VALUES), (name, method)
+
+
+def test_fig9_running_time_is_stable_in_b(butterfly_series, baidu_like, benchmark):
+    pairs = generate_query_pairs(baidu_like, QuerySpec(count=1), seed=9)
+    q_left, q_right = pairs[0]
+    benchmark(run_method, "LP-BCC", baidu_like, q_left, q_right, b=3)
+    series = butterfly_series["baidu-1"]["LP-BCC"]
+    fastest, slowest = min(series.values()), max(series.values())
+    # "Our approach achieves a stable efficiency performance on different b".
+    assert slowest <= max(10 * fastest, fastest + 0.5)

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Exp-11 case study: interdisciplinary research groups on DBLP (Figure 15).
+
+Reproduces the academic collaboration case study on a synthetic stand-in for
+the DBLP-Citation network: authors labeled by research field, edges are
+co-authorships, cross-field edges are interdisciplinary collaborations.
+
+1. A 2-labeled BCC query Q1 = {"Tim Kraska", "Michael I. Jordan"} discovers
+   the ML4DB / DB4ML community bridging "Database" and "Machine Learning".
+2. A 3-labeled mBCC query Q2 = {"Michael J. Franklin", "Michael I. Jordan",
+   "Ion Stoica"} discovers the AMPLab-style community across "Database",
+   "Machine Learning" and "Systems and Networking", including the
+   cross-group connectivity path between the three fields.
+
+Run with:  python examples/academic_multilabel_case_study.py
+"""
+
+from __future__ import annotations
+
+from repro import lp_bcc_search, mbcc_search
+from repro.datasets import generate_academic_network
+from repro.eval import describe_community
+
+
+def show(title: str, graph, vertices) -> None:
+    print(f"\n{title}")
+    by_field = {}
+    for author in sorted(vertices, key=str):
+        by_field.setdefault(graph.label(author), []).append(author)
+    for field, authors in sorted(by_field.items()):
+        named = [a for a in authors if not str(a).split("-")[0].isupper() or " " in str(a)]
+        print(f"  [{field}] ({len(authors)} authors)")
+        stars = [a for a in authors if " " in str(a) and not str(a).endswith(tuple("0123456789"))]
+        if stars:
+            print(f"      notable: {', '.join(stars)}")
+
+
+def main() -> None:
+    bundle = generate_academic_network(seed=2021)
+    graph = bundle.graph
+    print(f"Academic collaboration network: {graph} with fields {sorted(graph.labels())}")
+
+    # Part 1: two-labeled BCC query (Database x Machine Learning).
+    q1 = bundle.metadata["default_query"]
+    print(f"\n2-labeled query Q1 = {q1}, b = 3, k1 = k2 = 3")
+    bcc = lp_bcc_search(graph, q1[0], q1[1], k1=3, k2=3, b=3)
+    show("ML4DB / DB4ML community (Figure 15a):", graph, bcc.vertices)
+    report = describe_community(bcc.community)
+    print(
+        f"  |V|={report.num_vertices}, interdisciplinary butterflies="
+        f"{report.total_butterflies}, leader pair={bcc.leader_pair}"
+    )
+
+    # Part 2: three-labeled mBCC query.
+    q2 = list(bundle.metadata["three_label_query"])
+    print(f"\n3-labeled query Q2 = {q2}, b = 3, k_i = 3")
+    mbcc = mbcc_search(graph, q2, core_parameters=[3, 3, 3], b=3)
+    show("Cross-discipline community (Figure 15b):", graph, mbcc.vertices)
+    print(f"  groups: {{ {', '.join(f'{k}: {len(v)}' for k, v in sorted(mbcc.groups.items()))} }}")
+    print(f"  cross-group interaction edges: {mbcc.interaction_edges}")
+    print(
+        "  cross-group connectivity holds via the label interaction path, "
+        "as required by Def. 7/8."
+    )
+
+
+if __name__ == "__main__":
+    main()

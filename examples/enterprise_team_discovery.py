@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Professional team discovery on an IT enterprise network (Baidu-style workload).
+
+This example mirrors the paper's motivating application (Section 3.6,
+"Professional team discovery"): on an enterprise communication network whose
+vertices are employees labeled by department, find the cross-department
+project team behind a pair of employees.
+
+The script
+
+1. generates a Baidu-1-like network with planted cross-team ground-truth
+   projects,
+2. builds the offline BCindex once,
+3. answers a batch of queries with the fast local L2P-BCC method, and
+4. evaluates the answers against the planted ground truth with the F1-score,
+   comparing against the CTC and PSA baselines (a miniature Figure 4).
+
+Run with:  python examples/enterprise_team_discovery.py
+"""
+
+from __future__ import annotations
+
+from repro import BCIndex, l2p_bcc_search
+from repro.baselines import ctc_search, psa_search
+from repro.datasets import generate_baidu_network
+from repro.eval import QuerySpec, f1_score, generate_query_pairs
+
+
+def main() -> None:
+    bundle = generate_baidu_network("baidu-1", seed=7)
+    graph = bundle.graph
+    print(f"Enterprise network: {graph}")
+    print(f"Planted cross-team projects: {len(bundle.communities)}")
+
+    index = BCIndex(graph)
+    print("BCindex built (label-group coreness + lazily cached butterfly degrees).")
+
+    queries = generate_query_pairs(bundle, QuerySpec(count=6, degree_rank=0.8), seed=1)
+    print(f"Generated {len(queries)} ground-truth query pairs (degree rank 80%, l = 1).\n")
+
+    totals = {"L2P-BCC": [], "CTC": [], "PSA": []}
+    for q_left, q_right in queries:
+        truth = bundle.community_for_query(q_left, q_right)
+        bcc = l2p_bcc_search(graph, q_left, q_right, b=1, index=index)
+        ctc = ctc_search(graph, [q_left, q_right])
+        psa = psa_search(graph, [q_left, q_right])
+        scores = {
+            "L2P-BCC": f1_score(bcc.vertices if bcc else set(), truth.members),
+            "CTC": f1_score(ctc.vertices if ctc else set(), truth.members),
+            "PSA": f1_score(psa.vertices if psa else set(), truth.members),
+        }
+        for method, score in scores.items():
+            totals[method].append(score)
+        print(
+            f"query ({q_left} [{graph.label(q_left)}], {q_right} [{graph.label(q_right)}])  "
+            + "  ".join(f"{m}: F1={s:.2f}" for m, s in scores.items())
+        )
+
+    print("\nAverage F1 over the workload (miniature Figure 4):")
+    for method, scores in totals.items():
+        print(f"  {method:>8}: {sum(scores) / len(scores):.3f}")
+    print(
+        "\nThe labeled butterfly-core model recovers the planted cross-team "
+        "projects better than the label-agnostic baselines."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Exp-6 case study: cross-country flight communities (Figure 11).
+
+Reproduces the flight-network case study: on a labeled graph where vertices
+are cities (labeled by country) and edges are airline routes, search for the
+butterfly-core community of Q = {"Toronto", "Frankfurt"} with b = 3.  The BCC
+answer couples the dense Canadian domestic core with the dense German
+domestic core through the transatlantic hub butterfly
+{Toronto, Vancouver, Frankfurt, Munich}; the CTC baseline, which ignores
+country labels, returns mostly Canadian cities.
+
+Run with:  python examples/flight_case_study.py
+"""
+
+from __future__ import annotations
+
+from repro import ctc_search, lp_bcc_search
+from repro.datasets import generate_flight_network
+from repro.eval import community_core_levels, describe_community
+
+
+def show(title: str, graph, vertices) -> None:
+    print(f"\n{title}")
+    by_country = {}
+    for city in sorted(vertices, key=str):
+        by_country.setdefault(graph.label(city), []).append(city)
+    for country, cities in sorted(by_country.items()):
+        print(f"  {country} ({len(cities)}): {', '.join(cities)}")
+
+
+def main() -> None:
+    bundle = generate_flight_network(seed=2021)
+    graph = bundle.graph
+    print(f"Flight network: {graph}")
+    q_left, q_right = bundle.default_query()
+    print(f"Query Q = {{{q_left}, {q_right}}}, b = 3, k1/k2 = coreness of the queries")
+
+    bcc = lp_bcc_search(graph, q_left, q_right, b=3)
+    show("Butterfly-Core Community (ours):", graph, bcc.vertices)
+    report = describe_community(bcc.community)
+    levels = community_core_levels(bcc.community)
+    print(
+        f"  domestic cores: {levels}; cross-country butterflies: "
+        f"{report.total_butterflies}; diameter: {report.diameter}"
+    )
+    hubs = [v for v in ("Toronto", "Vancouver", "Frankfurt", "Munich") if v in bcc.vertices]
+    print(f"  transatlantic hub butterfly members found: {', '.join(hubs)}")
+
+    ctc = ctc_search(graph, [q_left, q_right])
+    show("CTC baseline (label-agnostic closest truss):", graph, ctc.vertices)
+    german = [v for v in ctc.vertices if graph.label(v) == "Germany"]
+    print(
+        f"  only {len(german)} German cities found — the international airline "
+        "community is missed, as reported in the paper's Figure 11(b)."
+    )
+
+
+if __name__ == "__main__":
+    main()

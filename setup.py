@@ -1,0 +1,11 @@
+"""Setuptools shim so that ``pip install -e .`` works without the wheel package.
+
+The offline environment this reproduction targets ships setuptools but not
+``wheel``, so PEP 660 editable wheels cannot be built; keeping a ``setup.py``
+lets pip fall back to the legacy ``setup.py develop`` editable install.  All
+project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

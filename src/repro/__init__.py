@@ -1,0 +1,66 @@
+"""Butterfly-Core Community Search over Labeled Graphs — reproduction library.
+
+This package reproduces the system described in "Butterfly-Core Community
+Search over Labeled Graphs" (PVLDB 2021): the (k1, k2, b)-BCC community model,
+the Online-BCC / LP-BCC / L2P-BCC search algorithms, the multi-labeled mBCC
+extension, the CTC and PSA baselines, synthetic stand-ins for the paper's
+evaluation datasets, and the experiment harness regenerating every table and
+figure of the evaluation section.
+
+Quickstart
+----------
+>>> from repro import datasets, lp_bcc_search
+>>> bundle = datasets.generate_baidu_network(seed=1)
+>>> q_left, q_right = bundle.default_query()
+>>> result = lp_bcc_search(bundle.graph, q_left, q_right, b=1)
+>>> result is not None
+True
+"""
+
+from repro.baselines import ctc_search, psa_search
+from repro.core import (
+    BCIndex,
+    BCCParameters,
+    BCCResult,
+    MBCCResult,
+    butterfly_degrees,
+    core_decomposition,
+    find_g0,
+    is_bcc,
+    l2p_bcc_search,
+    lp_bcc_search,
+    mbcc_search,
+    online_bcc_search,
+    validate_bcc,
+)
+from repro.graph import (
+    BipartiteView,
+    LabeledGraph,
+    compute_statistics,
+    extract_bipartite,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BCIndex",
+    "BCCParameters",
+    "BCCResult",
+    "BipartiteView",
+    "LabeledGraph",
+    "MBCCResult",
+    "butterfly_degrees",
+    "compute_statistics",
+    "core_decomposition",
+    "ctc_search",
+    "extract_bipartite",
+    "find_g0",
+    "is_bcc",
+    "l2p_bcc_search",
+    "lp_bcc_search",
+    "mbcc_search",
+    "online_bcc_search",
+    "psa_search",
+    "validate_bcc",
+    "__version__",
+]

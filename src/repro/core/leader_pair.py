@@ -1,0 +1,331 @@
+"""Algorithms 6 and 7: leader-pair identification and butterfly-degree update.
+
+The BCC definition only requires *one* vertex per side whose butterfly degree
+is at least ``b`` (the leader pair).  Re-running the full butterfly counting
+(Algorithm 3) after every deletion just to re-verify this is wasteful, so the
+paper proposes:
+
+* **Algorithm 6 — leader pair identification.**  Pick, on each side, a vertex
+  close to the query vertex whose butterfly degree is comfortably above the
+  requirement (starting from half of the side's maximum butterfly degree and
+  relaxing towards ``b``).  Such a vertex tends to keep satisfying χ >= b for
+  many deletion rounds and tends not to be deleted early (it is close to the
+  query).
+
+* **Algorithm 7 — leader butterfly-degree update.**  When a vertex ``v`` is
+  deleted, the leader ``p``'s butterfly degree decreases by the number of
+  butterflies containing both ``p`` and ``v``; that number can be computed
+  locally from common neighbourhoods, without any global recount.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.graph.bipartite import BipartiteView
+from repro.graph.labeled_graph import LabeledGraph, Vertex
+from repro.graph.traversal import bfs_distances
+
+
+def _choose2(n: int) -> int:
+    return n * (n - 1) // 2
+
+
+@dataclass
+class Leader:
+    """A leader vertex together with its tracked butterfly degree."""
+
+    vertex: Vertex
+    butterfly_degree: int
+
+
+def identify_leader(
+    group: LabeledGraph,
+    query: Vertex,
+    butterfly_degrees: Dict[Vertex, int],
+    b: int,
+    rho: int = 2,
+) -> Leader:
+    """Algorithm 6: find a leader vertex for one side of the community.
+
+    Parameters
+    ----------
+    group:
+        The intra-group subgraph (``L`` or ``R``) used to measure hop
+        distances from the query vertex.
+    query:
+        The query vertex on this side (``q_l`` or ``q_r``).
+    butterfly_degrees:
+        Current χ(v) values for the side's vertices (cross-group butterflies).
+    b:
+        The butterfly-degree requirement of the BCC query.
+    rho:
+        Search radius: leaders are looked for within ``rho`` hops of the query.
+
+    Returns
+    -------
+    Leader
+        The chosen leader and its current butterfly degree.  When no vertex
+        within ``rho`` hops reaches the relaxed thresholds, the query vertex
+        itself is returned (line 16 of Algorithm 6).
+    """
+    chi = lambda v: butterfly_degrees.get(v, 0)  # noqa: E731 - tiny local alias
+    candidate = query
+    b_max = 0
+    for v in group.vertices():
+        b_max = max(b_max, chi(v))
+    threshold = b_max / 2.0
+    if chi(candidate) > threshold:
+        return Leader(candidate, chi(candidate))
+    # Hop distances from the query within the group (bounded by rho).
+    distances = bfs_distances(group, query, max_depth=rho) if query in group else {}
+    by_distance: Dict[int, list] = {}
+    for v, d in distances.items():
+        if v == query:
+            continue
+        by_distance.setdefault(d, []).append(v)
+    while threshold >= b and threshold > 0:
+        for d in range(1, rho + 1):
+            for v in by_distance.get(d, []):
+                if chi(v) >= threshold:
+                    return Leader(v, chi(v))
+        threshold /= 2.0
+    return Leader(candidate, chi(candidate))
+
+
+def identify_leader_pair(
+    left_group: LabeledGraph,
+    right_group: LabeledGraph,
+    q_left: Vertex,
+    q_right: Vertex,
+    butterfly_degrees: Dict[Vertex, int],
+    b: int,
+    rho: int = 2,
+) -> Tuple[Leader, Leader]:
+    """Identify a leader on each side (Algorithm 6 applied twice)."""
+    left = identify_leader(left_group, q_left, butterfly_degrees, b, rho)
+    right = identify_leader(right_group, q_right, butterfly_degrees, b, rho)
+    return left, right
+
+
+def updated_leader_degree(
+    bipartite: BipartiteView,
+    leader: Vertex,
+    leader_label_same_as_deleted: bool,
+    deleted: Vertex,
+) -> int:
+    """Algorithm 7: return the decrease of χ(leader) caused by deleting ``deleted``.
+
+    The bipartite view must still contain ``deleted`` (call this *before*
+    removing the vertex from the view).
+
+    * Same side (ℓ(p) = ℓ(v)): the butterflies containing both are
+      ``C(|N(p) ∩ N(v)|, 2)``.
+    * Opposite side and adjacent: for every other neighbour ``u`` of ``v``,
+      the pair (p, u) loses the butterflies in which ``v`` was one of the two
+      common neighbours, i.e. ``|N(u) ∩ N(p)| - 1`` each (the ``-1`` removes
+      the wedge through ``v`` itself); non-adjacent opposite-side vertices
+      share no butterfly with the leader's perspective that involves an edge
+      to ``p``... they may still share butterflies, see note below.
+
+    Note: two opposite-side vertices that are *not* adjacent can still lie in
+    a common butterfly only if ... they cannot: a butterfly containing both a
+    left vertex ``p`` and a right vertex ``v`` requires all four cross edges
+    of the biclique, in particular the edge (p, v).  Hence the adjacency test
+    of line 5.
+    """
+    if deleted not in bipartite or leader not in bipartite:
+        return 0
+    if leader == deleted:
+        return 0
+    if leader_label_same_as_deleted:
+        common = bipartite.neighbors(leader) & bipartite.neighbors(deleted)
+        return _choose2(len(common))
+    if deleted not in bipartite.neighbors(leader):
+        return 0
+    loss = 0
+    leader_neighbors = bipartite.neighbors(leader)
+    for u in bipartite.neighbors(deleted):
+        if u == leader:
+            continue
+        shared = len(bipartite.neighbors(u) & leader_neighbors)
+        if shared >= 1:
+            loss += shared - 1
+    return loss
+
+
+class LeaderPairTracker:
+    """Maintains a leader pair and its butterfly degrees across deletions.
+
+    This is the runtime companion of Algorithms 6 and 7 used by LP-BCC and
+    L2P-BCC: the tracker owns a :class:`BipartiteView` of the current
+    community, keeps the two leaders' butterfly degrees up to date as vertices
+    are deleted (Algorithm 7), and falls back to a full butterfly recount plus
+    re-identification (Algorithm 6) only when a leader is deleted or its
+    degree drops below ``b``.
+
+    Parameters
+    ----------
+    bipartite:
+        The cross-group bipartite view of the community; the tracker mutates
+        it as vertices are deleted.
+    butterfly_degrees:
+        Initial χ values (from Algorithm 2's counting).
+    q_left, q_right:
+        The query vertices (used when re-identifying leaders).
+    b:
+        Butterfly-degree requirement.
+    rho:
+        Leader search radius for Algorithm 6.
+    instrumentation:
+        Optional counter object; full recounts are recorded as
+        butterfly-counting calls and leader updates are timed into
+        ``leader_update_seconds``.
+    """
+
+    def __init__(
+        self,
+        bipartite: BipartiteView,
+        butterfly_degrees: Dict[Vertex, int],
+        q_left: Vertex,
+        q_right: Vertex,
+        b: int,
+        rho: int = 2,
+        instrumentation=None,
+    ) -> None:
+        self._bipartite = bipartite
+        self._q_left = q_left
+        self._q_right = q_right
+        self._b = b
+        self._rho = rho
+        self._instrumentation = instrumentation
+        self.full_recounts = 0
+        self._left_leader: Optional[Leader] = None
+        self._right_leader: Optional[Leader] = None
+        self._initialise_leaders(butterfly_degrees)
+
+    # ------------------------------------------------------------------
+    # initialisation / re-identification
+    # ------------------------------------------------------------------
+    def _initialise_leaders(self, degrees: Dict[Vertex, int]) -> None:
+        left_best = self._best_on_side(self._bipartite.left(), degrees, self._q_left)
+        right_best = self._best_on_side(self._bipartite.right(), degrees, self._q_right)
+        self._left_leader = left_best
+        self._right_leader = right_best
+
+    def _best_on_side(
+        self, side, degrees: Dict[Vertex, int], query: Vertex
+    ) -> Optional[Leader]:
+        """Pick a leader on one side, preferring the query vertex when adequate.
+
+        This is Algorithm 6 without the hop-distance refinement (which needs
+        the intra-group graph); callers with access to the group subgraphs
+        can use :func:`identify_leader` and :meth:`set_leaders` instead.
+        """
+        if not side:
+            return None
+        b_max = max((degrees.get(v, 0) for v in side), default=0)
+        threshold = b_max / 2.0
+        if query in side and degrees.get(query, 0) > threshold:
+            return Leader(query, degrees.get(query, 0))
+        best_vertex = max(side, key=lambda v: (degrees.get(v, 0), repr(v)))
+        return Leader(best_vertex, degrees.get(best_vertex, 0))
+
+    def set_leaders(self, left: Leader, right: Leader) -> None:
+        """Install externally identified leaders (e.g. from :func:`identify_leader`)."""
+        self._left_leader = left
+        self._right_leader = right
+
+    def leaders(self) -> Tuple[Optional[Leader], Optional[Leader]]:
+        """Return the current (left, right) leaders."""
+        return self._left_leader, self._right_leader
+
+    def leader_pair(self) -> Optional[Tuple[Vertex, Vertex]]:
+        """Return the leader vertices as a pair, if both exist."""
+        if self._left_leader is None or self._right_leader is None:
+            return None
+        return (self._left_leader.vertex, self._right_leader.vertex)
+
+    # ------------------------------------------------------------------
+    # deletion handling
+    # ------------------------------------------------------------------
+    def remove_vertices(self, deleted) -> None:
+        """Apply a batch of deletions, updating leader degrees (Algorithm 7)."""
+        deleted = [v for v in deleted if v in self._bipartite]
+        for vertex in deleted:
+            self._apply_single_deletion(vertex)
+
+    def _apply_single_deletion(self, vertex: Vertex) -> None:
+        timer = (
+            self._instrumentation.time_leader_update()
+            if self._instrumentation is not None
+            else _null_context()
+        )
+        with timer:
+            for side_name in ("left", "right"):
+                leader = self._left_leader if side_name == "left" else self._right_leader
+                if leader is None or leader.vertex == vertex:
+                    continue
+                same_side = (vertex in self._bipartite.left()) == (
+                    leader.vertex in self._bipartite.left()
+                )
+                loss = updated_leader_degree(
+                    self._bipartite, leader.vertex, same_side, vertex
+                )
+                leader.butterfly_degree -= loss
+            left_lost = self._left_leader is not None and self._left_leader.vertex == vertex
+            right_lost = (
+                self._right_leader is not None and self._right_leader.vertex == vertex
+            )
+        self._bipartite.remove_vertex(vertex)
+        if left_lost:
+            self._left_leader = None
+        if right_lost:
+            self._right_leader = None
+
+    # ------------------------------------------------------------------
+    # validity checking
+    # ------------------------------------------------------------------
+    def leaders_satisfy_requirement(self) -> bool:
+        """Return True when both tracked leaders still have χ >= b."""
+        return (
+            self._left_leader is not None
+            and self._right_leader is not None
+            and self._left_leader.butterfly_degree >= self._b
+            and self._right_leader.butterfly_degree >= self._b
+        )
+
+    def revalidate(self) -> bool:
+        """Ensure a valid leader pair exists, recounting butterflies if needed.
+
+        Returns True when the butterfly constraint of Def. 4 still holds for
+        the current bipartite graph.  A full recount (Algorithm 3) happens
+        only when the incrementally tracked leaders no longer satisfy the
+        requirement.
+        """
+        if self.leaders_satisfy_requirement():
+            return True
+        from repro.core.butterfly import butterfly_degrees as count_all
+
+        degrees = count_all(self._bipartite)
+        self.full_recounts += 1
+        if self._instrumentation is not None:
+            self._instrumentation.record_butterfly_counting()
+        self._initialise_leaders(degrees)
+        return self.leaders_satisfy_requirement()
+
+    @property
+    def bipartite(self) -> BipartiteView:
+        """The tracked cross-group bipartite view (mutated by deletions)."""
+        return self._bipartite
+
+
+class _null_context:
+    """A no-op context manager used when no instrumentation is attached."""
+
+    def __enter__(self):  # noqa: D105 - trivial
+        return self
+
+    def __exit__(self, *exc):  # noqa: D105 - trivial
+        return False

@@ -1,0 +1,185 @@
+"""Algorithm 4: butterfly-core maintenance after vertex deletions.
+
+When the greedy search (Algorithm 1) removes a vertex ``u*`` — or a bulk of
+vertices — from the current community, the remaining graph may stop being a
+(k1, k2, b)-BCC: intra-group degrees drop below ``k1``/``k2``, and butterfly
+degrees shrink.  Algorithm 4 restores the structure:
+
+1. split the removed set by label,
+2. cascade-remove vertices whose intra-group degree fell below the threshold
+   on each side (k-core maintenance),
+3. update the cross-group bipartite graph,
+4. re-count butterfly degrees and check that a leader pair still exists.
+
+:func:`maintain_bcc` performs all four steps on the community graph *in
+place* and reports whether the result is still a valid BCC containing the
+query vertices.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Sequence, Set
+
+from repro.core.bcc_model import BCCParameters
+from repro.core.butterfly import butterfly_degrees, max_butterfly_degree_per_side
+from repro.graph.bipartite import BipartiteView, extract_bipartite
+from repro.graph.labeled_graph import LabeledGraph, Label, Vertex
+from repro.graph.traversal import are_connected
+
+
+@dataclass
+class MaintenanceResult:
+    """Outcome of one Algorithm 4 invocation."""
+
+    valid: bool
+    removed: Set[Vertex] = field(default_factory=set)
+    reason: str = ""
+    bipartite: Optional[BipartiteView] = None
+    butterfly_degrees: Dict[Vertex, int] = field(default_factory=dict)
+
+
+def _intra_group_degree(community: LabeledGraph, vertex: Vertex, label: Label) -> int:
+    """Return the number of neighbours of ``vertex`` carrying ``label``."""
+    return sum(1 for w in community.neighbors(vertex) if community.label(w) == label)
+
+
+def maintain_label_core(
+    community: LabeledGraph,
+    label: Label,
+    k: int,
+    removals: Iterable[Vertex],
+) -> Set[Vertex]:
+    """Remove ``removals`` and cascade until the ``label`` group is a k-core again.
+
+    Degrees are counted within the label group only (intra-group edges), which
+    matches Def. 4 where each group's core is taken over the induced subgraph
+    of its own label.  Vertices of other labels are never touched by the
+    cascade.  The community graph is modified in place; the set of all removed
+    vertices is returned.
+    """
+    removed: Set[Vertex] = set()
+    queue = deque()
+    for vertex in removals:
+        if vertex in community:
+            neighbors = set(community.neighbors(vertex))
+            community.remove_vertex(vertex)
+            removed.add(vertex)
+            for neighbor in neighbors:
+                if neighbor in community and community.label(neighbor) == label:
+                    queue.append(neighbor)
+    while queue:
+        vertex = queue.popleft()
+        if vertex not in community:
+            continue
+        if _intra_group_degree(community, vertex, label) >= k:
+            continue
+        neighbors = set(community.neighbors(vertex))
+        community.remove_vertex(vertex)
+        removed.add(vertex)
+        for neighbor in neighbors:
+            if neighbor in community and community.label(neighbor) == label:
+                queue.append(neighbor)
+    return removed
+
+
+def maintain_bcc(
+    community: LabeledGraph,
+    removals: Iterable[Vertex],
+    parameters: BCCParameters,
+    left_label: Label,
+    right_label: Label,
+    query_vertices: Optional[Sequence[Vertex]] = None,
+    check_butterfly: bool = True,
+    instrumentation=None,
+) -> MaintenanceResult:
+    """Run Algorithm 4 on ``community`` in place.
+
+    Parameters
+    ----------
+    community:
+        The current community graph ``G_l`` (modified in place).
+    removals:
+        The vertex set ``S`` selected for deletion (e.g. the farthest vertex,
+        or a bulk of farthest vertices).
+    parameters:
+        The (k1, k2, b) parameters of the query.
+    left_label, right_label:
+        The two community labels; left corresponds to ``k1``.
+    query_vertices:
+        When provided, the result is only ``valid`` if every query vertex
+        survived and the query vertices remain connected in the community.
+    check_butterfly:
+        When True (default), re-count butterfly degrees with Algorithm 3 and
+        require a leader pair (Def. 4, condition 4).  LP-BCC sets this to
+        False and maintains the leader pair incrementally instead
+        (Algorithms 6 and 7).
+    instrumentation:
+        Optional counter object recording butterfly-counting invocations.
+
+    Returns
+    -------
+    MaintenanceResult
+        ``valid`` is False when the community ceased to be a BCC containing
+        the query; ``removed`` lists every vertex removed by this call.
+    """
+    removals = list(removals)
+    left_removals = [v for v in removals if v in community and community.label(v) == left_label]
+    right_removals = [v for v in removals if v in community and community.label(v) == right_label]
+
+    removed: Set[Vertex] = set()
+    removed |= maintain_label_core(community, left_label, parameters.k1, left_removals)
+    removed |= maintain_label_core(community, right_label, parameters.k2, right_removals)
+
+    # Cascades on one side change cross degrees only, never intra-group
+    # degrees of the other side, so one pass per side suffices.
+
+    if query_vertices is not None:
+        lost = [q for q in query_vertices if q not in community]
+        if lost:
+            return MaintenanceResult(
+                valid=False, removed=removed, reason=f"query vertices {lost!r} removed"
+            )
+
+    left_vertices = community.vertices_with_label(left_label)
+    right_vertices = community.vertices_with_label(right_label)
+    if not left_vertices or not right_vertices:
+        return MaintenanceResult(
+            valid=False, removed=removed, reason="one label group became empty"
+        )
+
+    bipartite = extract_bipartite(community, left_vertices, right_vertices)
+    degrees: Dict[Vertex, int] = {}
+    if check_butterfly:
+        degrees = butterfly_degrees(bipartite)
+        if instrumentation is not None:
+            instrumentation.record_butterfly_counting()
+        max_left, max_right = max_butterfly_degree_per_side(bipartite, degrees)
+        if max_left < parameters.b or max_right < parameters.b:
+            return MaintenanceResult(
+                valid=False,
+                removed=removed,
+                reason=(
+                    f"butterfly constraint violated (max_l={max_left}, "
+                    f"max_r={max_right}, b={parameters.b})"
+                ),
+                bipartite=bipartite,
+                butterfly_degrees=degrees,
+            )
+
+    if query_vertices is not None and not are_connected(community, query_vertices):
+        return MaintenanceResult(
+            valid=False,
+            removed=removed,
+            reason="query vertices disconnected",
+            bipartite=bipartite,
+            butterfly_degrees=degrees,
+        )
+
+    return MaintenanceResult(
+        valid=True,
+        removed=removed,
+        bipartite=bipartite,
+        butterfly_degrees=degrees,
+    )

@@ -1,0 +1,177 @@
+"""Algorithm 5: fast (incremental) query-distance computation.
+
+Algorithm 1 needs, at every iteration, the query distance ``dist(v, Q)`` of
+every remaining vertex so it can pick the farthest one.  Recomputing a full
+BFS from each query vertex per iteration is wasteful: after deleting a vertex
+set ``D``, only vertices that were *farther* from ``q`` than the closest
+deleted vertex can change distance (and distances can only grow).
+
+:class:`QueryDistanceTracker` maintains, for each query vertex, the distance
+map over the current community and updates it after deletions following
+Algorithm 5:
+
+1. let ``d_min = min_{v ∈ D} dist(v, q)`` (using the distances *before* the
+   deletion);
+2. vertices with ``dist <= d_min`` are unaffected (``S_s`` is the frontier at
+   exactly ``d_min``);
+3. vertices with ``dist > d_min`` (``S_u``) are re-labelled by a BFS seeded
+   from the settled region.
+
+Vertices that become unreachable get distance ``inf`` and are therefore
+selected for deletion first by the greedy loop.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.graph.labeled_graph import LabeledGraph, Vertex
+from repro.graph.traversal import INFINITE_DISTANCE, bfs_distances, multi_source_bfs
+
+
+class QueryDistanceTracker:
+    """Maintains per-query BFS distances over a shrinking community graph.
+
+    Parameters
+    ----------
+    community:
+        The community graph; the tracker reads it but never mutates it.  The
+        caller must call :meth:`remove_vertices` *after* deleting the vertices
+        from the graph (the tracker keeps its own copy of the pre-deletion
+        distances, which is what Algorithm 5 needs).
+    query_vertices:
+        The query vertices ``Q``.
+    """
+
+    def __init__(self, community: LabeledGraph, query_vertices: Sequence[Vertex]) -> None:
+        self._community = community
+        self._queries: List[Vertex] = list(query_vertices)
+        self._distances: Dict[Vertex, Dict[Vertex, float]] = {}
+        self.full_recomputations = 0
+        self.partial_updates = 0
+        for q in self._queries:
+            self.recompute(q)
+
+    # ------------------------------------------------------------------
+    # full recomputation
+    # ------------------------------------------------------------------
+    def recompute(self, query: Optional[Vertex] = None) -> None:
+        """Recompute distances from scratch for one query vertex (or all)."""
+        targets = [query] if query is not None else self._queries
+        for q in targets:
+            self.full_recomputations += 1
+            if q not in self._community:
+                self._distances[q] = {}
+                continue
+            reached = bfs_distances(self._community, q)
+            dist_map: Dict[Vertex, float] = {
+                v: float(reached.get(v, INFINITE_DISTANCE))
+                for v in self._community.vertices()
+            }
+            self._distances[q] = dist_map
+
+    # ------------------------------------------------------------------
+    # incremental update (Algorithm 5)
+    # ------------------------------------------------------------------
+    def remove_vertices(self, deleted: Iterable[Vertex]) -> None:
+        """Update distances after ``deleted`` vertices were removed from the graph.
+
+        Must be called once per deletion batch, after the graph mutation.  The
+        deleted vertices are dropped from every distance map, and the
+        distances of vertices farther than the closest deleted vertex are
+        recomputed with a partial BFS.
+        """
+        deleted_set = {v for v in deleted}
+        if not deleted_set:
+            return
+        for q in self._queries:
+            self._update_one_query(q, deleted_set)
+
+    def _update_one_query(self, query: Vertex, deleted: Set[Vertex]) -> None:
+        old = self._distances.get(query, {})
+        if query in deleted or query not in self._community:
+            self._distances[query] = {}
+            return
+        # d_min: the closest deleted vertex to the query (pre-deletion distances).
+        d_min = math.inf
+        for v in deleted:
+            d = old.get(v, INFINITE_DISTANCE)
+            if d < d_min:
+                d_min = d
+        # Drop the deleted vertices from the map.
+        for v in deleted:
+            old.pop(v, None)
+        if math.isinf(d_min):
+            # Every deleted vertex was already unreachable: nothing changes.
+            self.partial_updates += 1
+            return
+        # Partition the surviving vertices into settled (<= d_min) and
+        # to-update (> d_min) sets.
+        settled_seeds: Dict[Vertex, int] = {}
+        to_update: Set[Vertex] = set()
+        for v, dist in old.items():
+            if dist <= d_min and not math.isinf(dist):
+                settled_seeds[v] = int(dist)
+            else:
+                to_update.add(v)
+        if not to_update:
+            self.partial_updates += 1
+            return
+        self.partial_updates += 1
+        reached = multi_source_bfs(self._community, settled_seeds, restrict_to=to_update)
+        for v in to_update:
+            old[v] = float(reached.get(v, INFINITE_DISTANCE))
+        # Settled vertices keep their distances; ensure any vertex not present
+        # (e.g. vertices added externally — not expected) defaults to inf.
+        for v in self._community.vertices():
+            if v not in old:
+                old[v] = INFINITE_DISTANCE
+        self._distances[query] = old
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def distance(self, vertex: Vertex, query: Vertex) -> float:
+        """Return ``dist(vertex, query)`` in the current community (inf if unknown)."""
+        return self._distances.get(query, {}).get(vertex, INFINITE_DISTANCE)
+
+    def query_distance(self, vertex: Vertex) -> float:
+        """Return ``dist(vertex, Q) = max_q dist(vertex, q)`` (Def. 5)."""
+        worst = 0.0
+        for q in self._queries:
+            d = self.distance(vertex, q)
+            if math.isinf(d):
+                return INFINITE_DISTANCE
+            worst = max(worst, d)
+        return worst
+
+    def graph_query_distance(self) -> float:
+        """Return ``dist(G, Q)``: the maximum query distance over all vertices."""
+        worst = 0.0
+        for v in self._community.vertices():
+            d = self.query_distance(v)
+            if math.isinf(d):
+                return INFINITE_DISTANCE
+            worst = max(worst, d)
+        return worst
+
+    def farthest_vertices(self) -> Tuple[List[Vertex], float]:
+        """Return the non-query vertices with maximum query distance, and that distance."""
+        query_set = set(self._queries)
+        best_distance = -1.0
+        best: List[Vertex] = []
+        for v in self._community.vertices():
+            if v in query_set:
+                continue
+            d = self.query_distance(v)
+            if d > best_distance:
+                best_distance = d
+                best = [v]
+            elif d == best_distance:
+                best.append(v)
+        return best, best_distance
+
+    def distance_map(self, query: Vertex) -> Dict[Vertex, float]:
+        """Return a copy of the distance map for one query vertex."""
+        return dict(self._distances.get(query, {}))

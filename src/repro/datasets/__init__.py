@@ -1,0 +1,40 @@
+"""Synthetic stand-ins for every evaluation and case-study dataset of the paper."""
+
+from repro.datasets.academic import RESEARCH_FIELDS, generate_academic_network
+from repro.datasets.baidu import generate_baidu_network
+from repro.datasets.base import DatasetBundle, GroundTruthCommunity
+from repro.datasets.fiction import generate_fiction_network
+from repro.datasets.flight import generate_flight_network
+from repro.datasets.labeling import (
+    apply_multi_label_protocol,
+    apply_two_label_protocol,
+)
+from repro.datasets.registry import (
+    CASE_STUDY_NETWORKS,
+    EVALUATION_NETWORKS,
+    MULTILABEL_NETWORKS,
+    dataset_names,
+    load_dataset,
+)
+from repro.datasets.snap_like import generate_snap_like, snap_preset_names
+from repro.datasets.trade import generate_trade_network
+
+__all__ = [
+    "CASE_STUDY_NETWORKS",
+    "DatasetBundle",
+    "EVALUATION_NETWORKS",
+    "GroundTruthCommunity",
+    "MULTILABEL_NETWORKS",
+    "RESEARCH_FIELDS",
+    "apply_multi_label_protocol",
+    "apply_two_label_protocol",
+    "dataset_names",
+    "generate_academic_network",
+    "generate_baidu_network",
+    "generate_fiction_network",
+    "generate_flight_network",
+    "generate_snap_like",
+    "generate_trade_network",
+    "load_dataset",
+    "snap_preset_names",
+]

@@ -1,0 +1,206 @@
+"""Synthetic stand-in for the Baidu-1 / Baidu-2 IT professional networks.
+
+The paper's proprietary datasets are communication graphs between employees;
+vertices are labeled by department, and the ground-truth communities are
+joint projects between two (or more) department teams.  The generator plants
+exactly that structure:
+
+* a configurable number of departments (labels), each containing several
+  dense intra-department teams (each team a ``k``-core-like block);
+* ground-truth *cross-group project communities*: pairs (or, for the
+  multi-label experiments, tuples) of teams from different departments wired
+  together with cross edges, including a planted leader pair whose cross
+  connections form several butterflies;
+* background noise: random intra-department edges and random cross edges
+  outside any project.
+
+``generate_baidu_network(scale="baidu-1")`` and ``scale="baidu-2"`` mimic the
+relative sizes/densities of the two datasets (Baidu-2 being larger and much
+denser).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.datasets.base import DatasetBundle, GroundTruthCommunity
+from repro.exceptions import DatasetError
+from repro.graph.generators import RandomLike, _rng, ensure_butterfly
+from repro.graph.labeled_graph import LabeledGraph, Vertex
+
+_SCALE_PRESETS: Dict[str, Dict[str, int]] = {
+    "baidu-1": {
+        "departments": 6,
+        "teams_per_department": 3,
+        "team_size": 14,
+        "projects": 6,
+        "intra_team_degree": 5,
+        "project_cross_edges": 30,
+    },
+    "baidu-2": {
+        "departments": 8,
+        "teams_per_department": 3,
+        "team_size": 18,
+        "projects": 10,
+        "intra_team_degree": 7,
+        "project_cross_edges": 60,
+    },
+    "tiny": {
+        "departments": 3,
+        "teams_per_department": 2,
+        "team_size": 8,
+        "projects": 3,
+        "intra_team_degree": 3,
+        "project_cross_edges": 12,
+    },
+}
+
+
+def _build_team(
+    graph: LabeledGraph,
+    vertices: Sequence[Vertex],
+    label: str,
+    degree: int,
+    rng: random.Random,
+) -> None:
+    """Wire a dense intra-department team with minimum degree ``degree``."""
+    n = len(vertices)
+    for v in vertices:
+        graph.add_vertex(v, label=label)
+    half = (degree + 1) // 2
+    for i in range(n):
+        for offset in range(1, half + 1):
+            graph.add_edge(vertices[i], vertices[(i + offset) % n])
+    # Random chords make teams denser and their coreness less uniform.
+    extra = max(1, n // 2)
+    for _ in range(extra):
+        u, w = rng.sample(list(vertices), 2)
+        graph.add_edge(u, w)
+
+
+def generate_baidu_network(
+    scale: str = "baidu-1",
+    seed: RandomLike = 0,
+    departments: Optional[int] = None,
+    teams_per_department: Optional[int] = None,
+    team_size: Optional[int] = None,
+    projects: Optional[int] = None,
+    project_labels: int = 2,
+) -> DatasetBundle:
+    """Generate an IT-professional-network stand-in with cross-team projects.
+
+    Parameters
+    ----------
+    scale:
+        One of ``"baidu-1"``, ``"baidu-2"`` or ``"tiny"`` — presets matching
+        the relative size/density of the paper's two proprietary graphs plus
+        a fast preset for tests.
+    seed:
+        Random seed (or an existing :class:`random.Random`).
+    departments, teams_per_department, team_size, projects:
+        Optional overrides of the preset values.
+    project_labels:
+        Number of departments participating in each ground-truth project
+        (2 reproduces the BCC setting; larger values create the multi-label
+        ground truth used by Exp-9/Exp-10).
+
+    Returns
+    -------
+    DatasetBundle
+        Graph, ground-truth project communities and a default query pair
+        taken from the first project's leader pair.
+    """
+    if scale not in _SCALE_PRESETS:
+        raise DatasetError(f"unknown scale {scale!r}; choose from {sorted(_SCALE_PRESETS)}")
+    preset = dict(_SCALE_PRESETS[scale])
+    if departments is not None:
+        preset["departments"] = departments
+    if teams_per_department is not None:
+        preset["teams_per_department"] = teams_per_department
+    if team_size is not None:
+        preset["team_size"] = team_size
+    if projects is not None:
+        preset["projects"] = projects
+    if project_labels < 2:
+        raise DatasetError("project_labels must be >= 2")
+    if project_labels > preset["departments"]:
+        raise DatasetError("project_labels cannot exceed the number of departments")
+
+    rng = _rng(seed)
+    graph = LabeledGraph()
+    labels = [f"dept-{d}" for d in range(preset["departments"])]
+
+    # Build teams: teams[label] is a list of vertex lists.
+    teams: Dict[str, List[List[Vertex]]] = {label: [] for label in labels}
+    counter = itertools.count()
+    for label in labels:
+        for _ in range(preset["teams_per_department"]):
+            members = [f"e{next(counter)}" for _ in range(preset["team_size"])]
+            _build_team(graph, members, label, preset["intra_team_degree"], rng)
+            teams[label].append(members)
+
+    # Sparse intra-department edges between teams of the same department.
+    for label in labels:
+        department_teams = teams[label]
+        for team_a, team_b in itertools.combinations(department_teams, 2):
+            for _ in range(max(1, preset["team_size"] // 4)):
+                graph.add_edge(rng.choice(team_a), rng.choice(team_b))
+
+    # Ground-truth cross-group projects.
+    communities: List[GroundTruthCommunity] = []
+    default_query: Optional[Tuple[Vertex, Vertex]] = None
+    for project_index in range(preset["projects"]):
+        chosen_labels = rng.sample(labels, project_labels)
+        chosen_teams = [rng.choice(teams[label]) for label in chosen_labels]
+        members: set = set()
+        for team in chosen_teams:
+            members.update(team)
+        # Leaders: the first two members of each participating team.
+        leaders = [team[0] for team in chosen_teams]
+        deputies = [team[1] for team in chosen_teams]
+        # Wire butterflies between every consecutive pair of teams so each
+        # label pair in the project has a leader pair with chi >= b.
+        for (team_a, leader_a, deputy_a), (team_b, leader_b, deputy_b) in zip(
+            zip(chosen_teams, leaders, deputies),
+            list(zip(chosen_teams, leaders, deputies))[1:]
+            + [list(zip(chosen_teams, leaders, deputies))[0]],
+        ):
+            if team_a is team_b:
+                continue
+            ensure_butterfly(graph, (leader_a, deputy_a), (leader_b, deputy_b))
+            # Additional random cross edges between the two teams.
+            for _ in range(preset["project_cross_edges"] // max(1, project_labels)):
+                graph.add_edge(rng.choice(team_a), rng.choice(team_b))
+        communities.append(
+            GroundTruthCommunity(
+                members=members,
+                labels=tuple(chosen_labels),
+                name=f"project-{project_index}",
+            )
+        )
+        if default_query is None:
+            default_query = (leaders[0], leaders[1])
+
+    # Global noise: random cross-department edges outside projects.
+    all_vertices = list(graph.vertices())
+    noise_edges = graph.num_edges() // 20
+    for _ in range(noise_edges):
+        u, w = rng.sample(all_vertices, 2)
+        if graph.label(u) != graph.label(w):
+            graph.add_edge(u, w)
+
+    metadata: Dict[str, object] = {
+        "scale": scale,
+        "labels": labels,
+        "default_query": default_query,
+        "project_labels": project_labels,
+    }
+    return DatasetBundle(
+        name=scale if project_labels == 2 else f"{scale}-m{project_labels}",
+        graph=graph,
+        communities=communities,
+        metadata=metadata,
+        seed=seed if isinstance(seed, int) else None,
+    )

@@ -1,0 +1,79 @@
+"""Evaluation harness: metrics, query workloads, instrumentation and reporting.
+
+The harness submodule imports the search algorithms (which themselves use the
+instrumentation defined here), so it is loaded lazily via module
+``__getattr__`` to keep the import graph acyclic.
+"""
+
+from repro.eval.instrumentation import SearchInstrumentation
+from repro.eval.metrics import (
+    CommunityReport,
+    average_f1,
+    community_core_levels,
+    describe_community,
+    f1_score,
+    precision,
+    recall,
+)
+from repro.eval.reporting import (
+    breakdown_table,
+    figure_table,
+    format_float,
+    grid_table,
+    speedup,
+    summaries_to_grid,
+    sweep_table,
+)
+
+_HARNESS_EXPORTS = {
+    "BCC_METHOD_NAMES",
+    "METHOD_NAMES",
+    "MethodSummary",
+    "QueryOutcome",
+    "evaluate_methods",
+    "evaluate_multilabel",
+    "run_method",
+}
+_QUERY_EXPORTS = {
+    "QuerySpec",
+    "degree_rank_threshold",
+    "eligible_vertices",
+    "generate_multilabel_queries",
+    "generate_query_pairs",
+}
+
+
+def __getattr__(name):
+    """Lazily expose the harness and query-generation APIs."""
+    if name in _HARNESS_EXPORTS:
+        from repro.eval import harness
+
+        return getattr(harness, name)
+    if name in _QUERY_EXPORTS:
+        from repro.eval import queries
+
+        return getattr(queries, name)
+    raise AttributeError(f"module 'repro.eval' has no attribute {name!r}")
+
+
+__all__ = sorted(
+    {
+        "CommunityReport",
+        "SearchInstrumentation",
+        "average_f1",
+        "breakdown_table",
+        "community_core_levels",
+        "describe_community",
+        "f1_score",
+        "figure_table",
+        "format_float",
+        "grid_table",
+        "precision",
+        "recall",
+        "speedup",
+        "summaries_to_grid",
+        "sweep_table",
+    }
+    | _HARNESS_EXPORTS
+    | _QUERY_EXPORTS
+)

@@ -1,0 +1,292 @@
+"""Experiment harness: run every method over a workload and collect results.
+
+This module is the glue between the search algorithms, the datasets and the
+benchmark scripts.  It knows how to run each of the five compared methods
+(PSA, CTC, Online-BCC, LP-BCC, L2P-BCC) on a query pair, evaluate the result
+against the ground truth, and aggregate F1 / running-time statistics per
+(method, dataset) cell — i.e. one bar of Figure 4 or Figure 5.
+
+The per-method entry points accept a uniform signature so parameter sweeps
+(Figures 6-10) can simply pass overrides such as ``k`` or ``b``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.baselines.ctc import ctc_search
+from repro.baselines.psa import psa_search
+from repro.core.bc_index import BCIndex
+from repro.core.local_search import l2p_bcc_search
+from repro.core.lp_bcc import lp_bcc_search
+from repro.core.multilabel import mbcc_search
+from repro.core.online_bcc import online_bcc_search
+from repro.datasets.base import DatasetBundle
+from repro.eval.instrumentation import SearchInstrumentation
+from repro.eval.metrics import average_f1, f1_score
+from repro.eval.queries import QuerySpec, generate_multilabel_queries, generate_query_pairs
+from repro.graph.labeled_graph import Vertex
+
+# The method names used throughout the paper's figures.
+METHOD_NAMES: List[str] = ["PSA", "CTC", "Online-BCC", "LP-BCC", "L2P-BCC"]
+BCC_METHOD_NAMES: List[str] = ["Online-BCC", "LP-BCC", "L2P-BCC"]
+
+
+@dataclass
+class QueryOutcome:
+    """Result of one method on one query."""
+
+    method: str
+    query: Tuple[Vertex, ...]
+    vertices: Set[Vertex] = field(default_factory=set)
+    seconds: float = 0.0
+    f1: Optional[float] = None
+    found: bool = False
+    instrumentation: Optional[SearchInstrumentation] = None
+
+
+@dataclass
+class MethodSummary:
+    """Aggregate of one method over a workload (one bar in Fig. 4 / Fig. 5)."""
+
+    method: str
+    dataset: str
+    queries: int = 0
+    answered: int = 0
+    avg_f1: float = 0.0
+    avg_seconds: float = 0.0
+    total_seconds: float = 0.0
+
+    def as_row(self) -> Tuple[str, str, int, int, float, float]:
+        """Return (dataset, method, #queries, #answered, avg F1, avg seconds)."""
+        return (
+            self.dataset,
+            self.method,
+            self.queries,
+            self.answered,
+            self.avg_f1,
+            self.avg_seconds,
+        )
+
+
+def run_method(
+    method: str,
+    bundle: DatasetBundle,
+    q_left: Vertex,
+    q_right: Vertex,
+    k: Optional[int] = None,
+    b: int = 1,
+    index: Optional[BCIndex] = None,
+    instrumentation: Optional[SearchInstrumentation] = None,
+    max_iterations: Optional[int] = 200,
+) -> QueryOutcome:
+    """Run one named method on one query pair and time it.
+
+    Parameters
+    ----------
+    method:
+        One of :data:`METHOD_NAMES`.
+    bundle:
+        The dataset (graph + ground truth).
+    q_left, q_right:
+        The query pair.
+    k:
+        When given, overrides both core parameters (the parameter sweeps of
+        Fig. 8 vary a single ``k`` "due to their symmetry property"); BCC
+        methods otherwise default to the query vertices' coreness, CTC to the
+        maximum trussness and PSA to the query coreness.
+    b:
+        Butterfly-degree parameter for the BCC methods.
+    index:
+        Optional pre-built BCindex shared across queries (used by L2P-BCC).
+    instrumentation:
+        Optional counters forwarded to the method.
+    max_iterations:
+        Safety cap forwarded to the peeling loops.
+    """
+    graph = bundle.graph
+    start = time.perf_counter()
+    vertices: Set[Vertex] = set()
+    found = False
+    if method == "PSA":
+        psa = psa_search(graph, [q_left, q_right], k=k, instrumentation=instrumentation)
+        if psa is not None:
+            vertices = psa.vertices
+            found = True
+    elif method == "CTC":
+        ctc = ctc_search(
+            graph,
+            [q_left, q_right],
+            k=None,
+            max_iterations=max_iterations,
+            instrumentation=instrumentation,
+        )
+        if ctc is not None:
+            vertices = ctc.vertices
+            found = True
+    elif method == "Online-BCC":
+        result = online_bcc_search(
+            graph,
+            q_left,
+            q_right,
+            k1=k,
+            k2=k,
+            b=b,
+            max_iterations=max_iterations,
+            instrumentation=instrumentation,
+        )
+        if result is not None:
+            vertices = result.vertices
+            found = True
+    elif method == "LP-BCC":
+        result = lp_bcc_search(
+            graph,
+            q_left,
+            q_right,
+            k1=k,
+            k2=k,
+            b=b,
+            max_iterations=max_iterations,
+            instrumentation=instrumentation,
+        )
+        if result is not None:
+            vertices = result.vertices
+            found = True
+    elif method == "L2P-BCC":
+        result = l2p_bcc_search(
+            graph,
+            q_left,
+            q_right,
+            k1=k,
+            k2=k,
+            b=b,
+            index=index,
+            max_iterations=max_iterations,
+            instrumentation=instrumentation,
+        )
+        if result is not None:
+            vertices = result.vertices
+            found = True
+    else:
+        raise ValueError(f"unknown method {method!r}; known: {METHOD_NAMES}")
+    elapsed = time.perf_counter() - start
+
+    outcome = QueryOutcome(
+        method=method,
+        query=(q_left, q_right),
+        vertices=vertices,
+        seconds=elapsed,
+        found=found,
+        instrumentation=instrumentation,
+    )
+    truth = bundle.community_for_query(q_left, q_right)
+    if truth is not None:
+        outcome.f1 = f1_score(vertices, truth.members) if found else 0.0
+    return outcome
+
+
+def evaluate_methods(
+    bundle: DatasetBundle,
+    methods: Sequence[str] = tuple(METHOD_NAMES),
+    spec: QuerySpec = QuerySpec(count=10),
+    seed: int = 0,
+    k: Optional[int] = None,
+    b: int = 1,
+    share_index: bool = True,
+) -> Dict[str, MethodSummary]:
+    """Run several methods over a generated workload and aggregate per method.
+
+    Returns a mapping from method name to :class:`MethodSummary`; this is one
+    dataset's worth of Figure 4 (``avg_f1``) and Figure 5 (``avg_seconds``).
+    """
+    pairs = generate_query_pairs(bundle, spec, seed=seed)
+    index = BCIndex(bundle.graph) if share_index else None
+    summaries: Dict[str, MethodSummary] = {}
+    for method in methods:
+        f1_scores: List[float] = []
+        times: List[float] = []
+        answered = 0
+        for q_left, q_right in pairs:
+            outcome = run_method(
+                method, bundle, q_left, q_right, k=k, b=b, index=index
+            )
+            times.append(outcome.seconds)
+            if outcome.found:
+                answered += 1
+            if outcome.f1 is not None:
+                f1_scores.append(outcome.f1)
+        summaries[method] = MethodSummary(
+            method=method,
+            dataset=bundle.name,
+            queries=len(pairs),
+            answered=answered,
+            avg_f1=average_f1(f1_scores),
+            avg_seconds=sum(times) / len(times) if times else 0.0,
+            total_seconds=sum(times),
+        )
+    return summaries
+
+
+def evaluate_multilabel(
+    bundle: DatasetBundle,
+    num_labels: int,
+    methods: Sequence[str] = ("L2P-BCC",),
+    count: int = 5,
+    seed: int = 0,
+    b: int = 1,
+) -> Dict[str, MethodSummary]:
+    """Run the multi-label experiments (Exp-9 / Exp-10) for one label count ``m``.
+
+    The mBCC search framework (Algorithm 9) is used for every BCC variant; the
+    CTC and PSA baselines treat the query tuple as a plain vertex set.
+    """
+    queries = generate_multilabel_queries(bundle, num_labels, count=count, seed=seed)
+    summaries: Dict[str, MethodSummary] = {}
+    for method in methods:
+        f1_scores: List[float] = []
+        times: List[float] = []
+        answered = 0
+        for query in queries:
+            start = time.perf_counter()
+            vertices: Set[Vertex] = set()
+            found = False
+            if method in BCC_METHOD_NAMES:
+                result = mbcc_search(bundle.graph, list(query), b=b, max_iterations=200)
+                if result is not None:
+                    vertices = result.vertices
+                    found = True
+            elif method == "CTC":
+                ctc = ctc_search(bundle.graph, list(query), max_iterations=200)
+                if ctc is not None:
+                    vertices = ctc.vertices
+                    found = True
+            elif method == "PSA":
+                psa = psa_search(bundle.graph, list(query))
+                if psa is not None:
+                    vertices = psa.vertices
+                    found = True
+            else:
+                raise ValueError(f"unknown method {method!r}")
+            elapsed = time.perf_counter() - start
+            times.append(elapsed)
+            if found:
+                answered += 1
+            truth = None
+            for community in bundle.communities:
+                if all(q in community for q in query):
+                    truth = community
+                    break
+            if truth is not None:
+                f1_scores.append(f1_score(vertices, truth.members) if found else 0.0)
+        summaries[method] = MethodSummary(
+            method=method,
+            dataset=f"{bundle.name}(m={num_labels})",
+            queries=len(queries),
+            answered=answered,
+            avg_f1=average_f1(f1_scores),
+            avg_seconds=sum(times) / len(times) if times else 0.0,
+            total_seconds=sum(times),
+        )
+    return summaries

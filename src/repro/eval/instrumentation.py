@@ -1,0 +1,110 @@
+"""Per-search instrumentation counters.
+
+Exp-5 (Table 4) of the paper breaks a search down into the time spent on
+query-distance calculation, the time spent updating leader-pair butterfly
+degrees, and the number of times the full butterfly-counting procedure
+(Algorithm 3) is invoked.  :class:`SearchInstrumentation` collects exactly
+those quantities; every search algorithm accepts an optional instance and
+records into it, so the benchmark harness can reproduce the table without
+touching algorithm internals.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+
+@dataclass
+class SearchInstrumentation:
+    """Counters and timers collected during one (or more) community searches."""
+
+    butterfly_counting_calls: int = 0
+    query_distance_seconds: float = 0.0
+    leader_update_seconds: float = 0.0
+    total_seconds: float = 0.0
+    iterations: int = 0
+    vertices_deleted: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record_butterfly_counting(self, calls: int = 1) -> None:
+        """Record that Algorithm 3 ran ``calls`` more times."""
+        self.butterfly_counting_calls += calls
+
+    def record_iteration(self, deleted: int = 0) -> None:
+        """Record one peeling iteration that removed ``deleted`` vertices."""
+        self.iterations += 1
+        self.vertices_deleted += deleted
+
+    def add(self, key: str, value: float) -> None:
+        """Accumulate ``value`` into the free-form counter ``key``."""
+        self.extra[key] = self.extra.get(key, 0.0) + value
+
+    @contextmanager
+    def time_query_distance(self) -> Iterator[None]:
+        """Context manager accumulating wall time into query-distance seconds."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.query_distance_seconds += time.perf_counter() - start
+
+    @contextmanager
+    def time_leader_update(self) -> Iterator[None]:
+        """Context manager accumulating wall time into leader-update seconds."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.leader_update_seconds += time.perf_counter() - start
+
+    @contextmanager
+    def time_total(self) -> Iterator[None]:
+        """Context manager accumulating wall time into the total-seconds counter."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.total_seconds += time.perf_counter() - start
+
+    # ------------------------------------------------------------------
+    # aggregation
+    # ------------------------------------------------------------------
+    def merge(self, other: "SearchInstrumentation") -> None:
+        """Accumulate another instrumentation record into this one."""
+        self.butterfly_counting_calls += other.butterfly_counting_calls
+        self.query_distance_seconds += other.query_distance_seconds
+        self.leader_update_seconds += other.leader_update_seconds
+        self.total_seconds += other.total_seconds
+        self.iterations += other.iterations
+        self.vertices_deleted += other.vertices_deleted
+        for key, value in other.extra.items():
+            self.add(key, value)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return a flat dictionary of all counters (for reporting)."""
+        payload: Dict[str, float] = {
+            "butterfly_counting_calls": float(self.butterfly_counting_calls),
+            "query_distance_seconds": self.query_distance_seconds,
+            "leader_update_seconds": self.leader_update_seconds,
+            "total_seconds": self.total_seconds,
+            "iterations": float(self.iterations),
+            "vertices_deleted": float(self.vertices_deleted),
+        }
+        payload.update(self.extra)
+        return payload
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.butterfly_counting_calls = 0
+        self.query_distance_seconds = 0.0
+        self.leader_update_seconds = 0.0
+        self.total_seconds = 0.0
+        self.iterations = 0
+        self.vertices_deleted = 0
+        self.extra.clear()

@@ -1,0 +1,62 @@
+"""Exception hierarchy for the BCC reproduction library.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError`, so callers can catch library failures without also
+catching programming errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class GraphError(ReproError):
+    """Base class for errors related to graph construction or access."""
+
+
+class VertexNotFoundError(GraphError, KeyError):
+    """Raised when an operation references a vertex not present in the graph."""
+
+    def __init__(self, vertex) -> None:
+        super().__init__(f"vertex {vertex!r} is not in the graph")
+        self.vertex = vertex
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """Raised when an operation references an edge not present in the graph."""
+
+    def __init__(self, u, v) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) is not in the graph")
+        self.edge = (u, v)
+
+
+class LabelError(GraphError):
+    """Raised when vertex labels are missing or inconsistent with a query."""
+
+
+class QueryError(ReproError):
+    """Raised when a community-search query is malformed.
+
+    Examples include query vertices that do not exist, query vertices that
+    share a label when distinct labels are required, or non-positive
+    structural parameters.
+    """
+
+
+class EmptyCommunityError(ReproError):
+    """Raised when no community satisfying the requested constraints exists.
+
+    Search routines normally return ``None`` (or an empty result object) for
+    "no answer"; this exception is used by strict APIs that are documented to
+    raise instead.
+    """
+
+
+class IndexNotBuiltError(ReproError):
+    """Raised when an index-based method is invoked before building the index."""
+
+
+class DatasetError(ReproError):
+    """Raised when a synthetic dataset generator receives invalid parameters."""

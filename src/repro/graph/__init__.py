@@ -1,0 +1,46 @@
+"""Graph substrate: labeled graphs, traversal, bipartite views, I/O, generators."""
+
+from repro.graph.bipartite import BipartiteView, extract_bipartite, extract_label_bipartite
+from repro.graph.labeled_graph import LabeledGraph, union_graphs
+from repro.graph.statistics import NetworkStatistics, compute_statistics, statistics_table
+from repro.graph.traversal import (
+    INFINITE_DISTANCE,
+    are_connected,
+    bfs_distances,
+    connected_component,
+    connected_components,
+    diameter,
+    distance_between,
+    farthest_vertices,
+    graph_query_distance,
+    is_connected,
+    multi_source_bfs,
+    query_distances,
+    shortest_path,
+    vertex_query_distance,
+)
+
+__all__ = [
+    "BipartiteView",
+    "INFINITE_DISTANCE",
+    "LabeledGraph",
+    "NetworkStatistics",
+    "are_connected",
+    "bfs_distances",
+    "compute_statistics",
+    "connected_component",
+    "connected_components",
+    "diameter",
+    "distance_between",
+    "extract_bipartite",
+    "extract_label_bipartite",
+    "farthest_vertices",
+    "graph_query_distance",
+    "is_connected",
+    "multi_source_bfs",
+    "query_distances",
+    "shortest_path",
+    "statistics_table",
+    "union_graphs",
+    "vertex_query_distance",
+]

@@ -1,0 +1,162 @@
+"""Readers and writers for labeled graphs.
+
+Two plain-text formats are supported:
+
+* **edge list + label file** — the layout used by SNAP-style datasets and by
+  the paper's artifact repository: one edge per line (two whitespace-separated
+  vertex ids), plus a companion label file with ``vertex label`` per line.
+* **JSON** — a single self-describing document with ``vertices`` (vertex →
+  label) and ``edges`` (list of pairs); convenient for fixtures and examples.
+
+Ground-truth communities are stored one community per line (whitespace-
+separated member ids), matching the SNAP ``cmty`` files.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.exceptions import DatasetError
+from repro.graph.labeled_graph import LabeledGraph, Vertex
+
+PathLike = Union[str, Path]
+
+
+def _coerce_vertex(token: str, as_int: bool) -> Vertex:
+    if as_int:
+        try:
+            return int(token)
+        except ValueError:
+            return token
+    return token
+
+
+def read_edge_list(
+    path: PathLike,
+    comment: str = "#",
+    as_int: bool = True,
+) -> LabeledGraph:
+    """Read an edge-list file into a labeled graph (labels left as ``None``).
+
+    Lines starting with ``comment`` and blank lines are skipped.  Vertex
+    tokens are converted to ``int`` when possible unless ``as_int`` is False.
+    """
+    graph = LabeledGraph()
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith(comment):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise DatasetError(f"{path}:{lineno}: expected two vertex ids, got {line!r}")
+            u = _coerce_vertex(parts[0], as_int)
+            v = _coerce_vertex(parts[1], as_int)
+            graph.add_edge(u, v)
+    return graph
+
+
+def read_label_file(
+    path: PathLike,
+    graph: Optional[LabeledGraph] = None,
+    comment: str = "#",
+    as_int: bool = True,
+) -> Dict[Vertex, str]:
+    """Read a ``vertex label`` file; optionally apply the labels to ``graph``."""
+    labels: Dict[Vertex, str] = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith(comment):
+                continue
+            parts = line.split(None, 1)
+            if len(parts) != 2:
+                raise DatasetError(f"{path}:{lineno}: expected 'vertex label', got {line!r}")
+            vertex = _coerce_vertex(parts[0], as_int)
+            labels[vertex] = parts[1]
+    if graph is not None:
+        for vertex, label in labels.items():
+            if vertex in graph:
+                graph.set_label(vertex, label)
+            else:
+                graph.add_vertex(vertex, label=label)
+    return labels
+
+
+def read_labeled_graph(
+    edge_path: PathLike,
+    label_path: PathLike,
+    as_int: bool = True,
+) -> LabeledGraph:
+    """Read an edge list and a label file into a single labeled graph."""
+    graph = read_edge_list(edge_path, as_int=as_int)
+    read_label_file(label_path, graph=graph, as_int=as_int)
+    return graph
+
+
+def write_edge_list(graph: LabeledGraph, path: PathLike) -> None:
+    """Write the graph's edges, one ``u v`` pair per line."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for u, v in sorted(graph.edges(), key=lambda e: (str(e[0]), str(e[1]))):
+            handle.write(f"{u} {v}\n")
+
+
+def write_label_file(graph: LabeledGraph, path: PathLike) -> None:
+    """Write the graph's labels, one ``vertex label`` pair per line."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for vertex in sorted(graph.vertices(), key=str):
+            handle.write(f"{vertex} {graph.label(vertex)}\n")
+
+
+def read_communities(path: PathLike, as_int: bool = True) -> List[List[Vertex]]:
+    """Read ground-truth communities, one whitespace-separated line each."""
+    communities: List[List[Vertex]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            communities.append([_coerce_vertex(tok, as_int) for tok in line.split()])
+    return communities
+
+
+def write_communities(communities: Iterable[Sequence[Vertex]], path: PathLike) -> None:
+    """Write ground-truth communities, one whitespace-separated line each."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for community in communities:
+            handle.write(" ".join(str(v) for v in community) + "\n")
+
+
+def graph_to_dict(graph: LabeledGraph) -> Dict[str, object]:
+    """Return a JSON-serialisable dictionary describing the graph."""
+    return {
+        "vertices": {str(v): graph.label(v) for v in graph.vertices()},
+        "edges": [[str(u), str(v)] for u, v in graph.edges()],
+    }
+
+
+def graph_from_dict(payload: Dict[str, object], as_int: bool = True) -> LabeledGraph:
+    """Rebuild a labeled graph from :func:`graph_to_dict` output."""
+    if "vertices" not in payload or "edges" not in payload:
+        raise DatasetError("graph dictionary must contain 'vertices' and 'edges'")
+    graph = LabeledGraph()
+    for raw_vertex, label in payload["vertices"].items():  # type: ignore[union-attr]
+        graph.add_vertex(_coerce_vertex(str(raw_vertex), as_int), label=label)
+    for raw_u, raw_v in payload["edges"]:  # type: ignore[union-attr]
+        graph.add_edge(_coerce_vertex(str(raw_u), as_int), _coerce_vertex(str(raw_v), as_int))
+    return graph
+
+
+def write_json(graph: LabeledGraph, path: PathLike, indent: int = 2) -> None:
+    """Serialise the graph to a JSON document."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(graph_to_dict(graph), handle, indent=indent, sort_keys=True)
+
+
+def read_json(path: PathLike, as_int: bool = True) -> LabeledGraph:
+    """Load a graph previously written with :func:`write_json`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return graph_from_dict(payload, as_int=as_int)

@@ -1,0 +1,120 @@
+"""Network statistics in the shape of Table 3 of the paper.
+
+Table 3 reports, for every evaluation network: the number of vertices, the
+number of edges, the number of distinct labels, the maximum coreness
+``k_max`` and the maximum butterfly degree ``d_max`` (the paper's column is
+named ``d_max`` but, per Section 8, it is the largest per-vertex butterfly
+count over the cross-label bipartite structure — for 2-label graphs this is
+the bipartite graph between the two labels, for multi-label graphs we take
+the maximum over all label pairs that share at least one cross edge).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.graph.bipartite import extract_label_bipartite
+from repro.graph.labeled_graph import LabeledGraph
+
+
+@dataclass
+class NetworkStatistics:
+    """Summary statistics of one labeled network (one row of Table 3)."""
+
+    name: str
+    num_vertices: int
+    num_edges: int
+    num_labels: int
+    max_coreness: int
+    max_butterfly_degree: int
+    num_cross_edges: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def as_row(self) -> Tuple[str, int, int, int, int, int]:
+        """Return the row in the column order of Table 3."""
+        return (
+            self.name,
+            self.num_vertices,
+            self.num_edges,
+            self.num_labels,
+            self.max_coreness,
+            self.max_butterfly_degree,
+        )
+
+
+def max_coreness(graph: LabeledGraph) -> int:
+    """Return the maximum coreness over all vertices of ``graph``."""
+    # Imported lazily to avoid a circular import (core depends on graph).
+    from repro.core.kcore import core_decomposition
+
+    coreness = core_decomposition(graph)
+    return max(coreness.values()) if coreness else 0
+
+
+def max_butterfly_degree(
+    graph: LabeledGraph, label_pairs: Optional[List[Tuple[object, object]]] = None
+) -> int:
+    """Return the maximum per-vertex butterfly degree over cross-label bipartite graphs.
+
+    Parameters
+    ----------
+    graph:
+        The labeled graph.
+    label_pairs:
+        Optional explicit list of label pairs to examine.  By default every
+        unordered pair of labels that is joined by at least one cross edge is
+        considered; for graphs with many labels this is the set of pairs that
+        actually matter.
+    """
+    from repro.core.butterfly import butterfly_degrees
+
+    if label_pairs is None:
+        pairs = set()
+        for u, v in graph.cross_edges():
+            lab_u, lab_v = graph.label(u), graph.label(v)
+            pairs.add(tuple(sorted((str(lab_u), str(lab_v)))))
+        labels_by_str = {str(lab): lab for lab in graph.labels()}
+        label_pairs = [(labels_by_str[a], labels_by_str[b]) for a, b in pairs]
+    best = 0
+    for left_label, right_label in label_pairs:
+        bipartite = extract_label_bipartite(graph, left_label, right_label)
+        degrees = butterfly_degrees(bipartite)
+        if degrees:
+            best = max(best, max(degrees.values()))
+    return best
+
+
+def compute_statistics(graph: LabeledGraph, name: str = "network") -> NetworkStatistics:
+    """Compute the Table 3 statistics for ``graph``."""
+    num_cross = sum(1 for _ in graph.cross_edges())
+    stats = NetworkStatistics(
+        name=name,
+        num_vertices=graph.num_vertices(),
+        num_edges=graph.num_edges(),
+        num_labels=len(graph.labels()),
+        max_coreness=max_coreness(graph),
+        max_butterfly_degree=max_butterfly_degree(graph),
+        num_cross_edges=num_cross,
+    )
+    if graph.num_vertices() > 0:
+        stats.extra["avg_degree"] = 2.0 * graph.num_edges() / graph.num_vertices()
+        stats.extra["cross_edge_fraction"] = (
+            num_cross / graph.num_edges() if graph.num_edges() else 0.0
+        )
+    return stats
+
+
+def statistics_table(rows: List[NetworkStatistics]) -> str:
+    """Format a list of statistics as a Table 3-style text table."""
+    header = ("Network", "|V|", "|E|", "Labels", "k_max", "d_max")
+    lines = [" | ".join(f"{h:>12}" for h in header)]
+    lines.append("-" * len(lines[0]))
+    for row in rows:
+        name, nv, ne, nl, kmax, dmax = row.as_row()
+        lines.append(
+            " | ".join(
+                f"{value:>12}" for value in (name, nv, ne, nl, kmax, dmax)
+            )
+        )
+    return "\n".join(lines)

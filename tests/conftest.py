@@ -1,0 +1,84 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    generate_academic_network,
+    generate_baidu_network,
+    generate_fiction_network,
+    generate_flight_network,
+    generate_snap_like,
+    generate_trade_network,
+)
+from repro.graph.generators import paper_example_graph, paper_small_example_graph
+from repro.graph.labeled_graph import LabeledGraph
+
+
+@pytest.fixture
+def paper_graph() -> LabeledGraph:
+    """The Figure 1 running-example graph (SE / UI / PM labels)."""
+    return paper_example_graph()
+
+
+@pytest.fixture
+def small_graph() -> LabeledGraph:
+    """The Figure 3 example graph used by Algorithms 5-7 walkthroughs."""
+    return paper_small_example_graph()
+
+
+@pytest.fixture
+def simple_two_label_graph() -> LabeledGraph:
+    """A tiny hand-built 2-label graph with one obvious butterfly.
+
+    Left label "L" = {a, b, c} forming a triangle; right label "R" = {x, y, z}
+    forming a triangle; cross edges make (a, b) x (x, y) a butterfly, with an
+    extra pendant cross edge (c, z).
+    """
+    g = LabeledGraph()
+    for v in ("a", "b", "c"):
+        g.add_vertex(v, label="L")
+    for v in ("x", "y", "z"):
+        g.add_vertex(v, label="R")
+    for u, v in (("a", "b"), ("b", "c"), ("a", "c"), ("x", "y"), ("y", "z"), ("x", "z")):
+        g.add_edge(u, v)
+    for u, v in (("a", "x"), ("a", "y"), ("b", "x"), ("b", "y"), ("c", "z")):
+        g.add_edge(u, v)
+    return g
+
+
+@pytest.fixture(scope="session")
+def tiny_baidu_bundle():
+    """A small Baidu-like dataset with planted cross-team projects."""
+    return generate_baidu_network("tiny", seed=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_snap_bundle():
+    """A small SNAP-like dataset generated with the paper's labeling protocol."""
+    return generate_snap_like("tiny", seed=11)
+
+
+@pytest.fixture(scope="session")
+def flight_bundle():
+    """The flight-network case-study dataset."""
+    return generate_flight_network(seed=3)
+
+
+@pytest.fixture(scope="session")
+def trade_bundle():
+    """The trade-network case-study dataset."""
+    return generate_trade_network(seed=3)
+
+
+@pytest.fixture(scope="session")
+def fiction_bundle():
+    """The fiction-network case-study dataset."""
+    return generate_fiction_network(seed=3)
+
+
+@pytest.fixture(scope="session")
+def academic_bundle():
+    """The academic collaboration case-study dataset."""
+    return generate_academic_network(seed=3)

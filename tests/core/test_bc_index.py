@@ -1,0 +1,89 @@
+"""Unit tests for the BCindex (Section 6.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bc_index import BCIndex, build_bc_index
+from repro.core.butterfly import butterfly_degrees
+from repro.core.kcore import core_decomposition
+from repro.exceptions import IndexNotBuiltError
+from repro.graph.bipartite import extract_label_bipartite
+from repro.graph.generators import paper_example_graph
+
+
+class TestCorenessComponent:
+    def test_label_group_coreness(self):
+        g = paper_example_graph()
+        index = BCIndex(g)
+        expected_se = core_decomposition(g.label_induced_subgraph("SE"))
+        for vertex, coreness in expected_se.items():
+            assert index.coreness(vertex) == coreness
+        assert index.coreness("ql") == 4
+        assert index.coreness("qr") == 3
+
+    def test_max_coreness(self):
+        g = paper_example_graph()
+        index = BCIndex(g)
+        assert index.max_coreness() == max(index.coreness_map().values())
+
+    def test_unknown_vertex_defaults_to_zero(self):
+        g = paper_example_graph()
+        index = BCIndex(g)
+        assert index.coreness("not-there") == 0
+
+    def test_lazy_build(self):
+        g = paper_example_graph()
+        index = BCIndex(g, build=False)
+        assert not index.is_built()
+        with pytest.raises(IndexNotBuiltError):
+            index.coreness("ql")
+        index.build()
+        assert index.is_built()
+        assert index.coreness("ql") == 4
+
+    def test_coreness_map_is_copy(self):
+        g = paper_example_graph()
+        index = BCIndex(g)
+        mapping = index.coreness_map()
+        mapping["ql"] = 99
+        assert index.coreness("ql") == 4
+
+
+class TestButterflyComponent:
+    def test_matches_direct_counting(self):
+        g = paper_example_graph()
+        index = BCIndex(g)
+        direct = butterfly_degrees(extract_label_bipartite(g, "SE", "UI"))
+        for vertex, chi in direct.items():
+            assert index.butterfly_degree(vertex, "SE", "UI") == chi
+
+    def test_label_pair_order_irrelevant(self):
+        g = paper_example_graph()
+        index = BCIndex(g)
+        assert index.butterfly_degree("ql", "SE", "UI") == index.butterfly_degree(
+            "ql", "UI", "SE"
+        )
+        assert index.max_butterfly_degree("SE", "UI") == index.max_butterfly_degree(
+            "UI", "SE"
+        )
+
+    def test_caching(self):
+        g = paper_example_graph()
+        index = BCIndex(g)
+        assert index.cached_label_pairs() == ()
+        index.butterfly_degrees_for("SE", "UI")
+        assert len(index.cached_label_pairs()) == 1
+        index.butterfly_degrees_for("UI", "SE")
+        assert len(index.cached_label_pairs()) == 1
+        index.butterfly_degrees_for("SE", "PM")
+        assert len(index.cached_label_pairs()) == 2
+
+    def test_vertex_outside_pair_has_zero_degree(self):
+        g = paper_example_graph()
+        index = BCIndex(g)
+        assert index.butterfly_degree("z1", "SE", "UI") == 0
+
+    def test_build_bc_index_helper(self):
+        index = build_bc_index(paper_example_graph())
+        assert index.is_built()

@@ -1,0 +1,115 @@
+"""Unit tests for Algorithm 2 (finding the maximal candidate community G0)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bcc_model import BCCParameters, is_bcc
+from repro.core.find_g0 import find_g0, maximal_bcc_exists
+from repro.eval.instrumentation import SearchInstrumentation
+from repro.exceptions import QueryError
+from repro.graph.generators import paper_example_graph
+from repro.graph.labeled_graph import LabeledGraph
+
+
+class TestFindG0OnPaperExample:
+    def test_returns_figure2_superset(self):
+        g = paper_example_graph()
+        result = find_g0(g, "ql", "qr", BCCParameters(4, 3, 1))
+        assert result is not None
+        expected = {"ql", "v1", "v2", "v3", "v4", "v5", "qr", "u1", "u2", "u3"}
+        assert set(result.community.vertices()) == expected
+        assert result.left_label == "SE"
+        assert result.right_label == "UI"
+
+    def test_g0_is_valid_bcc(self):
+        g = paper_example_graph()
+        params = BCCParameters(4, 3, 1)
+        result = find_g0(g, "ql", "qr", params)
+        assert is_bcc(result.community, params, ["ql", "qr"])
+
+    def test_parts_are_consistent(self):
+        g = paper_example_graph()
+        result = find_g0(g, "ql", "qr", BCCParameters(4, 3, 1))
+        assert set(result.left.vertices()) <= set(result.community.vertices())
+        assert set(result.right.vertices()) <= set(result.community.vertices())
+        assert result.bipartite.num_edges() == 4
+        assert result.butterfly_degrees["ql"] == 1
+
+    def test_instrumentation_counts_one_butterfly_counting(self):
+        g = paper_example_graph()
+        inst = SearchInstrumentation()
+        find_g0(g, "ql", "qr", BCCParameters(4, 3, 1), instrumentation=inst)
+        assert inst.butterfly_counting_calls == 1
+
+
+class TestFailureModes:
+    def test_unsatisfiable_core_returns_none(self):
+        g = paper_example_graph()
+        assert find_g0(g, "ql", "qr", BCCParameters(10, 3, 1)) is None
+        assert find_g0(g, "ql", "qr", BCCParameters(4, 10, 1)) is None
+
+    def test_unsatisfiable_butterfly_returns_none(self):
+        g = paper_example_graph()
+        assert find_g0(g, "ql", "qr", BCCParameters(4, 3, 50)) is None
+        assert not maximal_bcc_exists(g, "ql", "qr", BCCParameters(4, 3, 50))
+
+    def test_same_label_query_rejected(self):
+        g = paper_example_graph()
+        with pytest.raises(QueryError):
+            find_g0(g, "ql", "v1", BCCParameters(1, 1, 1))
+
+    def test_disconnected_query_returns_none(self):
+        g = LabeledGraph()
+        # Two label-cores with no cross edge between them at all.
+        for u, v in (("a", "b"), ("b", "c"), ("a", "c")):
+            g.add_edge(u, v)
+        for u, v in (("x", "y"), ("y", "z"), ("x", "z")):
+            g.add_edge(u, v)
+        for v in ("a", "b", "c"):
+            g.set_label(v, "L")
+        for v in ("x", "y", "z"):
+            g.set_label(v, "R")
+        assert find_g0(g, "a", "x", BCCParameters(2, 2, 0)) is None
+
+    def test_b_zero_accepts_core_only_communities(self):
+        g = LabeledGraph()
+        for u, v in (("a", "b"), ("b", "c"), ("a", "c")):
+            g.add_edge(u, v)
+        for u, v in (("x", "y"), ("y", "z"), ("x", "z")):
+            g.add_edge(u, v)
+        for v in ("a", "b", "c"):
+            g.set_label(v, "L")
+        for v in ("x", "y", "z"):
+            g.set_label(v, "R")
+        g.add_edge("a", "x")  # single cross edge, no butterfly
+        result = find_g0(g, "a", "x", BCCParameters(2, 2, 0))
+        assert result is not None
+        assert result.community.num_vertices() == 6
+
+    def test_require_connected_query_can_be_disabled(self):
+        g = LabeledGraph()
+        for u, v in (("a", "b"), ("b", "c"), ("a", "c")):
+            g.add_edge(u, v)
+        for u, v in (("x", "y"), ("y", "z"), ("x", "z")):
+            g.add_edge(u, v)
+        for v in ("a", "b", "c"):
+            g.set_label(v, "L")
+        for v in ("x", "y", "z"):
+            g.set_label(v, "R")
+        result = find_g0(
+            g, "a", "x", BCCParameters(2, 2, 0), require_connected_query=False
+        )
+        assert result is not None
+        assert result.community.num_vertices() == 6
+
+
+class TestMaximality:
+    def test_g0_contains_every_qualifying_core_vertex(self):
+        """G0 must be maximal: every SE vertex of the connected 4-core and UI
+        vertex of the connected 3-core around the query belongs to it."""
+        g = paper_example_graph()
+        result = find_g0(g, "ql", "qr", BCCParameters(2, 2, 1))
+        # With k1 = k2 = 2 the candidate grows beyond the Figure 2 community.
+        assert result is not None
+        assert result.community.num_vertices() >= 10

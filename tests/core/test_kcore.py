@@ -1,0 +1,157 @@
+"""Unit tests for k-core decomposition, extraction and maintenance."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core.kcore import (
+    core_decomposition,
+    degeneracy,
+    is_k_core,
+    k_core,
+    k_core_containing,
+    k_core_vertices,
+    maintain_k_core,
+    max_core_value_containing,
+)
+from repro.exceptions import VertexNotFoundError
+from repro.graph.labeled_graph import LabeledGraph
+
+
+def clique(n: int) -> LabeledGraph:
+    g = LabeledGraph()
+    for i in range(n):
+        g.add_vertex(i, label="A")
+    for u, v in itertools.combinations(range(n), 2):
+        g.add_edge(u, v)
+    return g
+
+
+def clique_with_tail() -> LabeledGraph:
+    """A 4-clique {0,1,2,3} with a path tail 3-4-5."""
+    g = clique(4)
+    g.add_vertex(4, label="A")
+    g.add_vertex(5, label="A")
+    g.add_edge(3, 4)
+    g.add_edge(4, 5)
+    return g
+
+
+class TestCoreDecomposition:
+    def test_clique_coreness(self):
+        coreness = core_decomposition(clique(5))
+        assert all(value == 4 for value in coreness.values())
+
+    def test_clique_with_tail(self):
+        coreness = core_decomposition(clique_with_tail())
+        assert coreness[0] == 3
+        assert coreness[3] == 3
+        assert coreness[4] == 1
+        assert coreness[5] == 1
+
+    def test_empty_graph(self):
+        assert core_decomposition(LabeledGraph()) == {}
+
+    def test_isolated_vertex_coreness_zero(self):
+        g = LabeledGraph()
+        g.add_vertex("alone", label="A")
+        assert core_decomposition(g)["alone"] == 0
+
+    def test_path_coreness_is_one(self):
+        g = LabeledGraph(edges=[(0, 1), (1, 2), (2, 3)])
+        assert set(core_decomposition(g).values()) == {1}
+
+    def test_coreness_vs_peeling_definition(self):
+        """Coreness k means the vertex survives in the k-core but not the (k+1)-core."""
+        g = clique_with_tail()
+        coreness = core_decomposition(g)
+        for v, k in coreness.items():
+            assert v in k_core_vertices(g, k)
+            assert v not in k_core_vertices(g, k + 1)
+
+    def test_degeneracy(self):
+        assert degeneracy(clique(6)) == 5
+        assert degeneracy(LabeledGraph()) == 0
+
+
+class TestKCoreExtraction:
+    def test_k_core_vertices_of_clique_with_tail(self):
+        g = clique_with_tail()
+        assert k_core_vertices(g, 3) == {0, 1, 2, 3}
+        assert k_core_vertices(g, 1) == set(g.vertices())
+        assert k_core_vertices(g, 4) == set()
+
+    def test_k_core_zero_returns_everything(self):
+        g = clique_with_tail()
+        assert k_core_vertices(g, 0) == set(g.vertices())
+
+    def test_k_core_graph_properties(self):
+        g = clique_with_tail()
+        core = k_core(g, 3)
+        assert is_k_core(core, 3)
+        assert core.num_vertices() == 4
+
+    def test_k_core_containing_query(self):
+        g = clique_with_tail()
+        core = k_core_containing(g, 3, 0)
+        assert core is not None
+        assert set(core.vertices()) == {0, 1, 2, 3}
+        assert k_core_containing(g, 3, 5) is None
+
+    def test_k_core_containing_missing_vertex(self):
+        with pytest.raises(VertexNotFoundError):
+            k_core_containing(clique(3), 1, 99)
+
+    def test_k_core_containing_returns_connected_component(self):
+        g = clique(4)
+        # Second disjoint 4-clique labelled 10..13.
+        for u, v in itertools.combinations(range(10, 14), 2):
+            g.add_edge(u, v)
+        core = k_core_containing(g, 3, 0)
+        assert set(core.vertices()) == {0, 1, 2, 3}
+
+
+class TestMaintenance:
+    def test_cascade_removal(self):
+        g = clique_with_tail()
+        removed = maintain_k_core(g, 3, [0])
+        # Removing one clique vertex drops the others below degree 3 and the
+        # tail never had degree 3.
+        assert removed == {0, 1, 2, 3, 4, 5} or removed == {0, 1, 2, 3}
+        assert all(g.degree(v) >= 3 for v in g.vertices())
+
+    def test_removal_of_absent_vertex_is_noop(self):
+        g = clique(4)
+        removed = maintain_k_core(g, 3, [99])
+        assert removed == set()
+        assert g.num_vertices() == 4
+
+    def test_no_cascade_when_degrees_stay_high(self):
+        g = clique(5)
+        removed = maintain_k_core(g, 3, [0])
+        assert removed == {0}
+        assert g.num_vertices() == 4
+        assert is_k_core(g, 3)
+
+    def test_maintenance_matches_recomputation(self):
+        g = clique_with_tail()
+        expected = k_core_vertices(clique_with_tail().induced_subgraph(
+            set(clique_with_tail().vertices()) - {3}
+        ), 2)
+        maintain_k_core(g, 2, [3])
+        assert set(g.vertices()) == expected
+
+
+class TestHelpers:
+    def test_max_core_value_containing(self):
+        g = clique_with_tail()
+        assert max_core_value_containing(g, 0) == 3
+        assert max_core_value_containing(g, 5) == 1
+        with pytest.raises(VertexNotFoundError):
+            max_core_value_containing(g, 99)
+
+    def test_is_k_core(self):
+        assert is_k_core(clique(4), 3)
+        assert not is_k_core(clique_with_tail(), 2)

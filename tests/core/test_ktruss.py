@@ -1,0 +1,142 @@
+"""Unit tests for k-truss machinery (CTC baseline substrate)."""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.core.ktruss import (
+    edge_support,
+    is_k_truss,
+    k_truss,
+    k_truss_containing,
+    k_truss_edges,
+    k_truss_vertices,
+    maintain_k_truss,
+    max_truss_value_containing,
+    truss_decomposition,
+)
+from repro.graph.labeled_graph import LabeledGraph
+
+
+def clique(n: int, offset: int = 0) -> LabeledGraph:
+    g = LabeledGraph()
+    for i in range(offset, offset + n):
+        g.add_vertex(i, label="A")
+    for u, v in itertools.combinations(range(offset, offset + n), 2):
+        g.add_edge(u, v)
+    return g
+
+
+def clique_with_pendant() -> LabeledGraph:
+    g = clique(4)
+    g.add_vertex(9, label="A")
+    g.add_edge(3, 9)
+    return g
+
+
+class TestEdgeSupport:
+    def test_clique_support(self):
+        g = clique(4)
+        support = edge_support(g)
+        assert all(value == 2 for value in support.values())
+
+    def test_pendant_edge_support_zero(self):
+        g = clique_with_pendant()
+        support = edge_support(g)
+        assert support[frozenset((3, 9))] == 0
+
+    def test_triangle_free_graph(self):
+        g = LabeledGraph(edges=[(0, 1), (1, 2), (2, 3)])
+        assert all(value == 0 for value in edge_support(g).values())
+
+
+class TestTrussDecomposition:
+    def test_clique_trussness(self):
+        g = clique(5)
+        trussness = truss_decomposition(g)
+        assert all(value == 5 for value in trussness.values())
+
+    def test_mixed_graph(self):
+        g = clique_with_pendant()
+        trussness = truss_decomposition(g)
+        assert trussness[frozenset((0, 1))] == 4
+        assert trussness[frozenset((3, 9))] == 2
+
+    def test_trussness_consistent_with_k_truss_membership(self):
+        g = clique_with_pendant()
+        trussness = truss_decomposition(g)
+        for edge, k in trussness.items():
+            assert edge in k_truss_edges(g, k)
+            assert edge not in k_truss_edges(g, k + 1)
+
+
+class TestKTrussExtraction:
+    def test_k_truss_of_clique(self):
+        g = clique(5)
+        truss = k_truss(g, 5)
+        assert truss.num_vertices() == 5
+        assert truss.num_edges() == 10
+        assert is_k_truss(truss, 5)
+
+    def test_pendant_dropped_from_3_truss(self):
+        g = clique_with_pendant()
+        assert k_truss_vertices(g, 3) == {0, 1, 2, 3}
+        assert 9 not in k_truss_vertices(g, 4)
+
+    def test_low_k_keeps_everything(self):
+        g = clique_with_pendant()
+        assert k_truss_edges(g, 2) == {frozenset(e) for e in g.edges()}
+
+    def test_k_truss_containing_query(self):
+        g = clique_with_pendant()
+        result = k_truss_containing(g, 4, [0, 3])
+        assert result is not None
+        assert set(result.vertices()) == {0, 1, 2, 3}
+        assert k_truss_containing(g, 4, [0, 9]) is None
+
+    def test_k_truss_containing_requires_connectivity(self):
+        g = clique(4)
+        g.merge(clique(4, offset=10))
+        assert k_truss_containing(g, 4, [0, 10]) is None
+
+    def test_is_k_truss(self):
+        assert is_k_truss(clique(4), 4)
+        assert not is_k_truss(clique_with_pendant(), 3)
+        assert is_k_truss(LabeledGraph(edges=[(0, 1)]), 2)
+
+
+class TestMaxTrussValue:
+    def test_within_one_clique(self):
+        g = clique(5)
+        assert max_truss_value_containing(g, [0, 4]) == 5
+
+    def test_across_weakly_connected_parts(self):
+        g = clique(4)
+        g.merge(clique(4, offset=10))
+        g.add_edge(0, 10)
+        value = max_truss_value_containing(g, [0, 10])
+        assert value == 2
+
+    def test_missing_query_vertex(self):
+        assert max_truss_value_containing(clique(3), [0, 99]) == 0
+
+
+class TestMaintenance:
+    def test_removing_vertex_prunes_truss(self):
+        g = clique(5)
+        removed = maintain_k_truss(g, 5, [0])
+        # Without vertex 0 no edge has support 3 anymore, so everything goes.
+        assert removed == {0, 1, 2, 3, 4}
+        assert g.num_vertices() == 0
+
+    def test_removal_keeps_surviving_truss(self):
+        g = clique(5)
+        maintain_k_truss(g, 4, [0])
+        assert set(g.vertices()) == {1, 2, 3, 4}
+        assert is_k_truss(g, 4)
+
+    def test_removal_of_absent_vertex(self):
+        g = clique(4)
+        removed = maintain_k_truss(g, 3, [99])
+        assert 99 not in removed
+        assert g.num_vertices() == 4

@@ -1,0 +1,180 @@
+"""Unit tests for Algorithms 6 and 7 (leader pair identification and update)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.butterfly import butterfly_degrees
+from repro.core.leader_pair import (
+    Leader,
+    LeaderPairTracker,
+    identify_leader,
+    identify_leader_pair,
+    updated_leader_degree,
+)
+from repro.eval.instrumentation import SearchInstrumentation
+from repro.graph.bipartite import BipartiteView, extract_label_bipartite
+from repro.graph.generators import paper_small_example_graph, random_bipartite_graph
+
+
+def figure3_setup():
+    graph = paper_small_example_graph()
+    left = graph.label_induced_subgraph("L")
+    right = graph.label_induced_subgraph("R")
+    bipartite = extract_label_bipartite(graph, "L", "R")
+    degrees = butterfly_degrees(bipartite)
+    return graph, left, right, bipartite, degrees
+
+
+class TestIdentifyLeader:
+    def test_example5_left_leader_is_v1_or_v3(self):
+        _, left, _, _, degrees = figure3_setup()
+        leader = identify_leader(left, "ql", degrees, b=1, rho=3)
+        # Example 5 picks v1; v3 is symmetric (same degree, same distance).
+        assert leader.vertex in {"v1", "v3"}
+        assert leader.butterfly_degree == 6
+
+    def test_example5_right_leader(self):
+        _, _, right, _, degrees = figure3_setup()
+        leader = identify_leader(right, "qr", degrees, b=1, rho=3)
+        assert leader.vertex in {"u2", "u3", "u5", "u6"}
+        assert leader.butterfly_degree == 3
+
+    def test_query_returned_when_it_has_large_degree(self):
+        _, left, _, _, degrees = figure3_setup()
+        boosted = dict(degrees)
+        boosted["ql"] = 100
+        leader = identify_leader(left, "ql", boosted, b=1, rho=2)
+        assert leader.vertex == "ql"
+
+    def test_query_returned_when_no_candidate_qualifies(self):
+        _, left, _, _, _ = figure3_setup()
+        zero = {v: 0 for v in left.vertices()}
+        leader = identify_leader(left, "ql", zero, b=1, rho=2)
+        assert leader.vertex == "ql"
+        assert leader.butterfly_degree == 0
+
+    def test_identify_leader_pair(self):
+        _, left, right, _, degrees = figure3_setup()
+        left_leader, right_leader = identify_leader_pair(
+            left, right, "ql", "qr", degrees, b=1, rho=3
+        )
+        assert left_leader.vertex in {"v1", "v3"}
+        assert right_leader.vertex in {"u2", "u3", "u5", "u6"}
+
+
+class TestUpdatedLeaderDegree:
+    def test_example6_same_label_update(self):
+        """Deleting u6 lowers chi(u2) from 3 to 2 (Example 6, part 1)."""
+        _, _, _, bipartite, degrees = figure3_setup()
+        loss = updated_leader_degree(bipartite, "u2", True, "u6")
+        assert loss == 1
+        assert degrees["u2"] - loss == 2
+
+    def test_example6_cross_label_update(self):
+        """Deleting u6 lowers chi(v1) from 6 to 3 (Example 6, part 2)."""
+        _, _, _, bipartite, degrees = figure3_setup()
+        loss = updated_leader_degree(bipartite, "v1", False, "u6")
+        assert loss == 3
+        assert degrees["v1"] - loss == 3
+
+    def test_no_loss_when_not_adjacent_cross_side(self):
+        _, _, _, bipartite, _ = figure3_setup()
+        # u9 has no cross edges, so deleting it cannot change any chi.
+        assert updated_leader_degree(bipartite, "v1", False, "u9") == 0
+
+    def test_no_loss_for_missing_vertices(self):
+        _, _, _, bipartite, _ = figure3_setup()
+        assert updated_leader_degree(bipartite, "v1", True, "nope") == 0
+        assert updated_leader_degree(bipartite, "v1", False, "v1") == 0
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_update_matches_recount_on_random_graphs(self, seed):
+        rng = random.Random(seed)
+        graph = random_bipartite_graph(
+            [f"l{i}" for i in range(6)],
+            [f"r{i}" for i in range(6)],
+            0.5,
+            seed=seed,
+        )
+        bipartite = extract_label_bipartite(graph, "L", "R")
+        degrees = butterfly_degrees(bipartite)
+        vertices = [v for v in bipartite.vertices()]
+        leader = max(vertices, key=lambda v: degrees.get(v, 0))
+        deletable = [v for v in vertices if v != leader]
+        victim = rng.choice(deletable)
+        same_side = (victim in bipartite.left()) == (leader in bipartite.left())
+        loss = updated_leader_degree(bipartite, leader, same_side, victim)
+        bipartite.remove_vertex(victim)
+        recounted = butterfly_degrees(bipartite).get(leader, 0)
+        assert degrees[leader] - loss == recounted
+
+
+class TestLeaderPairTracker:
+    def test_tracker_keeps_leaders_consistent_with_recount(self):
+        graph, left, right, bipartite, degrees = figure3_setup()
+        tracker = LeaderPairTracker(bipartite.copy(), degrees, "ql", "qr", b=1)
+        left_leader, right_leader = identify_leader_pair(
+            left, right, "ql", "qr", degrees, b=1
+        )
+        tracker.set_leaders(left_leader, right_leader)
+        tracker.remove_vertices(["u6"])
+        tracked_left, tracked_right = tracker.leaders()
+        fresh = butterfly_degrees(tracker.bipartite)
+        assert tracked_left.butterfly_degree == fresh.get(tracked_left.vertex, 0)
+        assert tracked_right.butterfly_degree == fresh.get(tracked_right.vertex, 0)
+
+    def test_revalidate_without_recount_when_leaders_hold(self):
+        graph, left, right, bipartite, degrees = figure3_setup()
+        inst = SearchInstrumentation()
+        tracker = LeaderPairTracker(
+            bipartite.copy(), degrees, "ql", "qr", b=1, instrumentation=inst
+        )
+        assert tracker.revalidate()
+        assert tracker.full_recounts == 0
+        assert inst.butterfly_counting_calls == 0
+
+    def test_revalidate_recounts_when_leader_deleted(self):
+        graph, left, right, bipartite, degrees = figure3_setup()
+        tracker = LeaderPairTracker(bipartite.copy(), degrees, "ql", "qr", b=1)
+        left_leader, _ = tracker.leaders()
+        tracker.remove_vertices([left_leader.vertex])
+        # Every butterfly of Figure 3 needs both v1 and v3 on the left, so
+        # deleting the left leader destroys them all: revalidation must run a
+        # full recount (Algorithm 3) and then report failure.
+        assert not tracker.revalidate()
+        assert tracker.full_recounts == 1
+
+    def test_revalidate_recovers_with_alternative_leader(self):
+        """When the tracked leader dies but another qualifying vertex exists,
+        the recount installs it and revalidation succeeds."""
+        view = BipartiteView(
+            ["l0", "l1", "l2"],
+            ["r0", "r1"],
+            [(u, v) for u in ("l0", "l1", "l2") for v in ("r0", "r1")],
+        )
+        degrees = butterfly_degrees(view)
+        tracker = LeaderPairTracker(view.copy(), degrees, "l0", "r0", b=1)
+        left_leader, _ = tracker.leaders()
+        tracker.remove_vertices([left_leader.vertex])
+        assert tracker.revalidate()
+        assert tracker.full_recounts == 1
+        new_left, new_right = tracker.leaders()
+        assert new_left.butterfly_degree >= 1
+        assert new_right.butterfly_degree >= 1
+
+    def test_revalidate_fails_when_no_leader_possible(self):
+        graph, left, right, bipartite, degrees = figure3_setup()
+        tracker = LeaderPairTracker(bipartite.copy(), degrees, "ql", "qr", b=1)
+        # Remove every right-side vertex that participates in butterflies.
+        tracker.remove_vertices(["u2", "u3", "u5", "u6"])
+        assert not tracker.revalidate()
+
+    def test_leader_pair_accessor(self):
+        graph, left, right, bipartite, degrees = figure3_setup()
+        tracker = LeaderPairTracker(bipartite.copy(), degrees, "ql", "qr", b=1)
+        pair = tracker.leader_pair()
+        assert pair is not None
+        assert len(pair) == 2

@@ -1,0 +1,128 @@
+"""Unit tests for Algorithm 4 (butterfly-core maintenance)."""
+
+from __future__ import annotations
+
+from repro.core.bcc_model import BCCParameters, is_bcc
+from repro.core.find_g0 import find_g0
+from repro.core.maintenance import maintain_bcc, maintain_label_core
+from repro.eval.instrumentation import SearchInstrumentation
+from repro.graph.generators import paper_example_graph
+
+
+def figure2_candidate():
+    g = paper_example_graph()
+    params = BCCParameters(4, 3, 1)
+    result = find_g0(g, "ql", "qr", params)
+    return result.community.copy(), params
+
+
+class TestMaintainLabelCore:
+    def test_cascade_stays_within_label(self):
+        community, params = figure2_candidate()
+        removed = maintain_label_core(community, "UI", params.k2, ["u1"])
+        # Removing u1 from the 4-vertex UI clique drops everyone below degree 3.
+        assert {"u1", "u2", "u3", "qr"} <= removed
+        # SE vertices are untouched by the cascade on the UI side.
+        assert all(community.label(v) == "SE" for v in community.vertices())
+
+    def test_no_cascade_when_degree_survives(self):
+        community, params = figure2_candidate()
+        removed = maintain_label_core(community, "SE", 3, ["v1"])
+        assert removed == {"v1"}
+        assert "v2" in community
+
+    def test_absent_vertices_ignored(self):
+        community, params = figure2_candidate()
+        removed = maintain_label_core(community, "SE", params.k1, ["not-there"])
+        assert removed == set()
+
+
+class TestMaintainBCC:
+    def test_valid_after_harmless_removal(self):
+        community, params = figure2_candidate()
+        # v1 is not needed for the butterfly; with k1=3 the left core survives.
+        relaxed = BCCParameters(3, 3, 1)
+        outcome = maintain_bcc(
+            community, ["v1"], relaxed, "SE", "UI", query_vertices=["ql", "qr"]
+        )
+        assert outcome.valid
+        assert "v1" not in community
+        assert is_bcc(community, relaxed, ["ql", "qr"])
+
+    def test_invalid_when_core_collapses(self):
+        community, params = figure2_candidate()
+        outcome = maintain_bcc(
+            community, ["v1"], params, "SE", "UI", query_vertices=["ql", "qr"]
+        )
+        # k1=4 cannot survive the loss of v1 in a 6-vertex near-clique: the
+        # cascade eats the query vertex, so the result must be invalid.
+        assert not outcome.valid
+        assert outcome.reason
+
+    def test_invalid_when_butterfly_lost(self):
+        community, params = figure2_candidate()
+        relaxed = BCCParameters(0, 0, 1)
+        outcome = maintain_bcc(
+            community, ["v5"], relaxed, "SE", "UI", query_vertices=["ql", "qr"]
+        )
+        # v5 is one wing of the only butterfly; chi drops to 0 < b = 1.
+        assert not outcome.valid
+        assert "butterfly" in outcome.reason
+
+    def test_check_butterfly_can_be_skipped(self):
+        community, params = figure2_candidate()
+        relaxed = BCCParameters(0, 0, 1)
+        inst = SearchInstrumentation()
+        outcome = maintain_bcc(
+            community,
+            ["v5"],
+            relaxed,
+            "SE",
+            "UI",
+            query_vertices=["ql", "qr"],
+            check_butterfly=False,
+            instrumentation=inst,
+        )
+        assert outcome.valid
+        assert inst.butterfly_counting_calls == 0
+
+    def test_invalid_when_query_removed(self):
+        community, params = figure2_candidate()
+        outcome = maintain_bcc(
+            community, ["qr"], params, "SE", "UI", query_vertices=["ql", "qr"]
+        )
+        assert not outcome.valid
+        assert "query" in outcome.reason
+
+    def test_invalid_when_group_emptied(self):
+        community, params = figure2_candidate()
+        outcome = maintain_bcc(
+            community,
+            ["qr", "u1", "u2", "u3"],
+            BCCParameters(0, 0, 0),
+            "SE",
+            "UI",
+        )
+        assert not outcome.valid
+        assert "empty" in outcome.reason
+
+    def test_instrumentation_records_counting(self):
+        community, params = figure2_candidate()
+        inst = SearchInstrumentation()
+        maintain_bcc(
+            community,
+            ["v1"],
+            BCCParameters(3, 3, 1),
+            "SE",
+            "UI",
+            query_vertices=["ql", "qr"],
+            instrumentation=inst,
+        )
+        assert inst.butterfly_counting_calls == 1
+
+    def test_removed_set_reports_cascade(self):
+        community, params = figure2_candidate()
+        outcome = maintain_bcc(
+            community, ["u1"], params, "SE", "UI", query_vertices=["ql", "qr"]
+        )
+        assert {"u1", "u2", "u3", "qr"} <= outcome.removed

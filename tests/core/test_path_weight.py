@@ -1,0 +1,123 @@
+"""Unit tests for the butterfly-core path weight (Def. 6) and its search."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bc_index import BCIndex
+from repro.core.path_weight import (
+    PathWeightConfig,
+    butterfly_core_shortest_path,
+    path_weight,
+)
+from repro.graph.generators import paper_example_graph
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.traversal import shortest_path
+
+
+def diamond_graph() -> LabeledGraph:
+    """Two parallel s-t routes of equal hop length: one through high-coreness,
+    high-butterfly hub vertices, one through a low-coreness pendant vertex."""
+    g = LabeledGraph()
+    for v in ("s", "hub", "h2", "weak"):
+        g.add_vertex(v, label="L")
+    for v in ("t", "t2", "t3"):
+        g.add_vertex(v, label="R")
+    # Left triangle {s, hub, h2} gives those three coreness 2; "weak" hangs
+    # off s with coreness 1.
+    for u, v in (("s", "hub"), ("s", "h2"), ("hub", "h2"), ("s", "weak")):
+        g.add_edge(u, v)
+    # Right triangle {t, t2, t3} gives coreness 2 on the right.
+    for u, v in (("t", "t2"), ("t", "t3"), ("t2", "t3")):
+        g.add_edge(u, v)
+    # Cross edges: {hub, h2} x {t, t2} is a butterfly; weak reaches t with a
+    # single cross edge (same hop count, no butterfly, low coreness).
+    g.add_edge("hub", "t")
+    g.add_edge("hub", "t2")
+    g.add_edge("h2", "t")
+    g.add_edge("h2", "t2")
+    g.add_edge("weak", "t")
+    return g
+
+
+class TestPathWeight:
+    def test_weight_of_explicit_path(self):
+        g = diamond_graph()
+        index = BCIndex(g)
+        config = PathWeightConfig(gamma1=0.5, gamma2=0.5)
+        strong = path_weight(["s", "hub", "t"], index, "L", "R", config)
+        weak = path_weight(["s", "weak", "t"], index, "L", "R", config)
+        assert strong < weak
+
+    def test_empty_path_is_infinite(self):
+        g = diamond_graph()
+        index = BCIndex(g)
+        assert path_weight([], index, "L", "R") == float("inf")
+
+    def test_gamma_zero_reduces_to_hops(self):
+        g = diamond_graph()
+        index = BCIndex(g)
+        config = PathWeightConfig(gamma1=0.0, gamma2=0.0)
+        assert path_weight(["s", "hub", "t"], index, "L", "R", config) == 2
+        assert path_weight(["s", "weak", "t"], index, "L", "R", config) == 2
+
+    def test_negative_gamma_rejected(self):
+        with pytest.raises(ValueError):
+            PathWeightConfig(gamma1=-0.1)
+
+
+class TestWeightedShortestPath:
+    def test_prefers_high_coreness_high_butterfly_route(self):
+        g = diamond_graph()
+        index = BCIndex(g)
+        path = butterfly_core_shortest_path(g, "s", "t", index, "L", "R")
+        assert path is not None
+        assert path[0] == "s" and path[-1] == "t"
+        assert path[1] in {"hub", "h2"}
+        assert "weak" not in path
+
+    def test_plain_bfs_may_differ(self):
+        """The unweighted shortest path can legitimately take the weak route;
+        the weighted search must not (this is the whole point of Def. 6)."""
+        g = diamond_graph()
+        index = BCIndex(g)
+        weighted = butterfly_core_shortest_path(g, "s", "t", index, "L", "R")
+        unweighted = shortest_path(g, "s", "t")
+        assert len(unweighted) == len(weighted)  # same hop count here
+        assert weighted[1] in {"hub", "h2"}
+
+    def test_disconnected_returns_none(self):
+        g = diamond_graph()
+        g.add_vertex("island", label="L")
+        index = BCIndex(g)
+        assert butterfly_core_shortest_path(g, "s", "island", index, "L", "R") is None
+
+    def test_source_equals_target(self):
+        g = diamond_graph()
+        index = BCIndex(g)
+        path = butterfly_core_shortest_path(g, "s", "s", index, "L", "R")
+        assert path == ["s"]
+
+    def test_missing_endpoint_returns_none(self):
+        g = diamond_graph()
+        index = BCIndex(g)
+        assert butterfly_core_shortest_path(g, "s", "ghost", index, "L", "R") is None
+
+    def test_expansion_cap_falls_back_to_bfs(self):
+        g = paper_example_graph()
+        index = BCIndex(g)
+        path = butterfly_core_shortest_path(
+            g, "ql", "qr", index, "SE", "UI", max_expansions=1
+        )
+        assert path is not None
+        assert path[0] == "ql" and path[-1] == "qr"
+
+    def test_on_paper_example(self):
+        g = paper_example_graph()
+        index = BCIndex(g)
+        path = butterfly_core_shortest_path(g, "ql", "qr", index, "SE", "UI")
+        assert path is not None
+        assert path[0] == "ql" and path[-1] == "qr"
+        # q_l and q_r are adjacent, and both are butterfly members, so the
+        # direct edge is optimal.
+        assert len(path) == 2

@@ -1,0 +1,117 @@
+"""Unit and integration tests for the experiment harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bc_index import BCIndex
+from repro.eval.harness import (
+    BCC_METHOD_NAMES,
+    METHOD_NAMES,
+    MethodSummary,
+    evaluate_methods,
+    evaluate_multilabel,
+    run_method,
+)
+from repro.eval.instrumentation import SearchInstrumentation
+from repro.eval.queries import QuerySpec
+
+
+class TestRunMethod:
+    @pytest.mark.parametrize("method", METHOD_NAMES)
+    def test_every_method_runs_on_default_query(self, tiny_baidu_bundle, method):
+        q_left, q_right = tiny_baidu_bundle.default_query()
+        outcome = run_method(method, tiny_baidu_bundle, q_left, q_right, b=1)
+        assert outcome.method == method
+        assert outcome.seconds >= 0
+        assert outcome.found
+        assert outcome.f1 is not None and 0 <= outcome.f1 <= 1
+        assert {q_left, q_right} <= outcome.vertices
+
+    def test_bcc_methods_beat_baselines_on_planted_project(self, tiny_baidu_bundle):
+        """The headline qualitative claim of Fig. 4: labeled methods recover the
+        planted cross-team project better than the label-agnostic baselines."""
+        q_left, q_right = tiny_baidu_bundle.default_query()
+        scores = {
+            method: run_method(method, tiny_baidu_bundle, q_left, q_right, b=1).f1
+            for method in METHOD_NAMES
+        }
+        best_baseline = max(scores["PSA"], scores["CTC"])
+        for method in BCC_METHOD_NAMES:
+            assert scores[method] >= best_baseline
+
+    def test_unknown_method_rejected(self, tiny_baidu_bundle):
+        q_left, q_right = tiny_baidu_bundle.default_query()
+        with pytest.raises(ValueError):
+            run_method("Louvain", tiny_baidu_bundle, q_left, q_right)
+
+    def test_explicit_k_override(self, tiny_baidu_bundle):
+        q_left, q_right = tiny_baidu_bundle.default_query()
+        outcome = run_method("LP-BCC", tiny_baidu_bundle, q_left, q_right, k=2, b=1)
+        assert outcome.found
+
+    def test_shared_index(self, tiny_baidu_bundle):
+        q_left, q_right = tiny_baidu_bundle.default_query()
+        index = BCIndex(tiny_baidu_bundle.graph)
+        outcome = run_method(
+            "L2P-BCC", tiny_baidu_bundle, q_left, q_right, b=1, index=index
+        )
+        assert outcome.found
+
+    def test_instrumentation_passthrough(self, tiny_baidu_bundle):
+        q_left, q_right = tiny_baidu_bundle.default_query()
+        inst = SearchInstrumentation()
+        run_method("Online-BCC", tiny_baidu_bundle, q_left, q_right, b=1, instrumentation=inst)
+        assert inst.butterfly_counting_calls >= 1
+
+
+class TestEvaluateMethods:
+    def test_summary_structure(self, tiny_baidu_bundle):
+        summaries = evaluate_methods(
+            tiny_baidu_bundle,
+            methods=["PSA", "L2P-BCC"],
+            spec=QuerySpec(count=3),
+            seed=0,
+        )
+        assert set(summaries) == {"PSA", "L2P-BCC"}
+        for summary in summaries.values():
+            assert isinstance(summary, MethodSummary)
+            assert summary.queries == 3
+            assert 0 <= summary.avg_f1 <= 1
+            assert summary.avg_seconds >= 0
+            assert summary.dataset == tiny_baidu_bundle.name
+
+    def test_figure4_shape_on_tiny_dataset(self, tiny_baidu_bundle):
+        summaries = evaluate_methods(
+            tiny_baidu_bundle,
+            methods=["PSA", "CTC", "L2P-BCC"],
+            spec=QuerySpec(count=3),
+            seed=1,
+        )
+        assert summaries["L2P-BCC"].avg_f1 >= summaries["CTC"].avg_f1
+        assert summaries["L2P-BCC"].avg_f1 >= summaries["PSA"].avg_f1
+
+    def test_as_row(self, tiny_baidu_bundle):
+        summaries = evaluate_methods(
+            tiny_baidu_bundle, methods=["PSA"], spec=QuerySpec(count=2), seed=2
+        )
+        row = summaries["PSA"].as_row()
+        assert row[0] == tiny_baidu_bundle.name
+        assert row[1] == "PSA"
+
+
+class TestEvaluateMultilabel:
+    def test_multilabel_summary(self):
+        from repro.datasets import generate_baidu_network
+
+        bundle = generate_baidu_network("tiny", seed=6, project_labels=3)
+        summaries = evaluate_multilabel(
+            bundle, num_labels=3, methods=["L2P-BCC", "PSA"], count=2, seed=3
+        )
+        assert set(summaries) == {"L2P-BCC", "PSA"}
+        assert summaries["L2P-BCC"].queries >= 1
+        assert "m=3" in summaries["L2P-BCC"].dataset
+
+    def test_unknown_method_rejected(self, tiny_baidu_bundle):
+        with pytest.raises(ValueError):
+            evaluate_multilabel(tiny_baidu_bundle, 2, methods=["Louvain"], count=1)

@@ -1,0 +1,78 @@
+"""Unit tests for the evaluation metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.metrics import (
+    average_f1,
+    community_core_levels,
+    describe_community,
+    f1_score,
+    precision,
+    recall,
+)
+from repro.graph.generators import paper_example_graph
+
+
+class TestF1:
+    def test_perfect_match(self):
+        assert f1_score({1, 2, 3}, {1, 2, 3}) == 1.0
+        assert precision({1, 2, 3}, {1, 2, 3}) == 1.0
+        assert recall({1, 2, 3}, {1, 2, 3}) == 1.0
+
+    def test_no_overlap(self):
+        assert f1_score({1, 2}, {3, 4}) == 0.0
+
+    def test_partial_overlap(self):
+        # found = {1,2,3,4}, truth = {3,4,5,6}: prec = rec = 0.5 -> F1 = 0.5.
+        assert f1_score({1, 2, 3, 4}, {3, 4, 5, 6}) == pytest.approx(0.5)
+
+    def test_precision_recall_tradeoff(self):
+        found = {1, 2}
+        truth = {1, 2, 3, 4}
+        assert precision(found, truth) == 1.0
+        assert recall(found, truth) == 0.5
+        assert f1_score(found, truth) == pytest.approx(2 / 3)
+
+    def test_empty_sets(self):
+        assert f1_score(set(), {1}) == 0.0
+        assert f1_score({1}, set()) == 0.0
+        assert precision(set(), {1}) == 0.0
+        assert recall({1}, set()) == 0.0
+
+    def test_accepts_any_iterable(self):
+        assert f1_score([1, 2, 2], (1, 2)) == 1.0
+
+    def test_average_f1(self):
+        assert average_f1([1.0, 0.5, 0.0]) == pytest.approx(0.5)
+        assert average_f1([]) == 0.0
+
+
+class TestCommunityDescription:
+    def community(self):
+        g = paper_example_graph()
+        return g.induced_subgraph(
+            {"ql", "v1", "v2", "v3", "v4", "v5", "qr", "u1", "u2", "u3"}
+        )
+
+    def test_describe_community(self):
+        report = describe_community(self.community())
+        assert report.num_vertices == 10
+        assert report.label_sizes == {"SE": 6, "UI": 4}
+        assert report.min_intra_degree["SE"] == 4
+        assert report.min_intra_degree["UI"] == 3
+        assert report.total_butterflies == 1
+        assert report.max_butterfly_degree == 1
+        assert report.diameter <= 4
+        assert report.as_dict()["num_edges"] == report.num_edges
+
+    def test_core_levels(self):
+        levels = community_core_levels(self.community())
+        assert levels == {"SE": 4, "UI": 3}
+
+    def test_describe_single_label_community(self):
+        g = paper_example_graph().label_induced_subgraph("PM")
+        report = describe_community(g)
+        assert report.total_butterflies == 0
+        assert list(report.label_sizes) == ["PM"]

@@ -1,0 +1,122 @@
+"""Unit tests for graph readers and writers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.graph.io import (
+    graph_from_dict,
+    graph_to_dict,
+    read_communities,
+    read_edge_list,
+    read_json,
+    read_label_file,
+    read_labeled_graph,
+    write_communities,
+    write_edge_list,
+    write_json,
+    write_label_file,
+)
+from repro.graph.labeled_graph import LabeledGraph
+
+
+def sample_graph() -> LabeledGraph:
+    return LabeledGraph(
+        edges=[(1, 2), (2, 3), (3, 1)], labels={1: "A", 2: "A", 3: "B"}
+    )
+
+
+class TestEdgeList:
+    def test_roundtrip(self, tmp_path):
+        g = sample_graph()
+        path = tmp_path / "edges.txt"
+        write_edge_list(g, path)
+        loaded = read_edge_list(path)
+        assert loaded.num_vertices() == 3
+        assert loaded.num_edges() == 3
+        assert loaded.has_edge(1, 2)
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("# comment\n\n1 2\n2 3\n")
+        g = read_edge_list(path)
+        assert g.num_edges() == 2
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("1\n")
+        with pytest.raises(DatasetError):
+            read_edge_list(path)
+
+    def test_string_vertices_preserved(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("alice bob\n")
+        g = read_edge_list(path)
+        assert g.has_edge("alice", "bob")
+
+
+class TestLabelFile:
+    def test_roundtrip_with_graph(self, tmp_path):
+        g = sample_graph()
+        edge_path = tmp_path / "edges.txt"
+        label_path = tmp_path / "labels.txt"
+        write_edge_list(g, edge_path)
+        write_label_file(g, label_path)
+        loaded = read_labeled_graph(edge_path, label_path)
+        assert loaded.label(1) == "A"
+        assert loaded.label(3) == "B"
+
+    def test_labels_with_spaces(self, tmp_path):
+        path = tmp_path / "labels.txt"
+        path.write_text("1 Machine Learning\n")
+        labels = read_label_file(path)
+        assert labels[1] == "Machine Learning"
+
+    def test_label_file_adds_missing_vertices(self, tmp_path):
+        path = tmp_path / "labels.txt"
+        path.write_text("7 A\n")
+        g = LabeledGraph()
+        read_label_file(path, graph=g)
+        assert 7 in g and g.label(7) == "A"
+
+    def test_malformed_label_line_raises(self, tmp_path):
+        path = tmp_path / "labels.txt"
+        path.write_text("7\n")
+        with pytest.raises(DatasetError):
+            read_label_file(path)
+
+
+class TestCommunities:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "cmty.txt"
+        write_communities([[1, 2, 3], [4, 5]], path)
+        loaded = read_communities(path)
+        assert loaded == [[1, 2, 3], [4, 5]]
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "cmty.txt"
+        path.write_text("# gt\n1 2\n")
+        assert read_communities(path) == [[1, 2]]
+
+
+class TestJson:
+    def test_dict_roundtrip(self):
+        g = sample_graph()
+        payload = graph_to_dict(g)
+        rebuilt = graph_from_dict(payload)
+        assert rebuilt.num_vertices() == 3
+        assert rebuilt.num_edges() == 3
+        assert rebuilt.label(3) == "B"
+
+    def test_file_roundtrip(self, tmp_path):
+        g = sample_graph()
+        path = tmp_path / "graph.json"
+        write_json(g, path)
+        loaded = read_json(path)
+        assert loaded.num_edges() == 3
+        assert loaded.label(1) == "A"
+
+    def test_missing_keys_raise(self):
+        with pytest.raises(DatasetError):
+            graph_from_dict({"vertices": {}})

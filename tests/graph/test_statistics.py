@@ -1,0 +1,56 @@
+"""Unit tests for network statistics (Table 3 machinery)."""
+
+from __future__ import annotations
+
+from repro.graph.generators import paper_example_graph
+from repro.graph.statistics import (
+    NetworkStatistics,
+    compute_statistics,
+    max_butterfly_degree,
+    max_coreness,
+    statistics_table,
+)
+
+
+class TestStatistics:
+    def test_compute_statistics_on_paper_graph(self):
+        g = paper_example_graph()
+        stats = compute_statistics(g, name="figure-1")
+        assert stats.name == "figure-1"
+        assert stats.num_vertices == g.num_vertices()
+        assert stats.num_edges == g.num_edges()
+        assert stats.num_labels == 3
+        assert stats.max_coreness >= 4
+        assert stats.max_butterfly_degree >= 1
+        assert stats.num_cross_edges > 0
+
+    def test_max_coreness_matches_degeneracy(self):
+        from repro.core.kcore import degeneracy
+
+        g = paper_example_graph()
+        assert max_coreness(g) == degeneracy(g)
+
+    def test_max_butterfly_degree_explicit_pairs(self):
+        g = paper_example_graph()
+        value = max_butterfly_degree(g, label_pairs=[("SE", "UI")])
+        assert value >= 1
+
+    def test_extra_metrics_populated(self):
+        stats = compute_statistics(paper_example_graph())
+        assert stats.extra["avg_degree"] > 0
+        assert 0 < stats.extra["cross_edge_fraction"] < 1
+
+    def test_as_row_order(self):
+        stats = NetworkStatistics("x", 1, 2, 3, 4, 5)
+        assert stats.as_row() == ("x", 1, 2, 3, 4, 5)
+
+    def test_statistics_table_formatting(self, tiny_baidu_bundle):
+        rows = [
+            compute_statistics(paper_example_graph(), name="figure-1"),
+            compute_statistics(tiny_baidu_bundle.graph, name="baidu-tiny"),
+        ]
+        text = statistics_table(rows)
+        assert "figure-1" in text
+        assert "baidu-tiny" in text
+        assert "k_max" in text
+        assert len(text.splitlines()) == 4
