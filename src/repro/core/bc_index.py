@@ -40,10 +40,17 @@ class BCIndex:
     build:
         When True (default) the coreness component is built immediately;
         otherwise call :meth:`build`.
+    backend:
+        Kernel substrate forwarded to the per-group core decompositions and
+        the per-pair butterfly counting (``"auto"`` routes large groups
+        through the CSR fast path of :mod:`repro.graph.csr`).
     """
 
-    def __init__(self, graph: LabeledGraph, build: bool = True) -> None:
+    def __init__(
+        self, graph: LabeledGraph, build: bool = True, backend: str = "auto"
+    ) -> None:
         self._graph = graph
+        self._backend = backend
         self._coreness: Optional[Dict[Vertex, int]] = None
         self._max_coreness: int = 0
         self._butterfly_cache: Dict[Tuple[str, str], Dict[Vertex, int]] = {}
@@ -59,7 +66,7 @@ class BCIndex:
         coreness: Dict[Vertex, int] = {}
         for label in self._graph.labels():
             group = self._graph.label_induced_subgraph(label)
-            coreness.update(core_decomposition(group))
+            coreness.update(core_decomposition(group, backend=self._backend))
         # Isolated vertices within their group never appear in the
         # decomposition output of an empty-edge subgraph; default to 0.
         for v in self._graph.vertices():
@@ -107,7 +114,7 @@ class BCIndex:
         key = self._pair_key(left_label, right_label)
         if key not in self._butterfly_cache:
             bipartite = extract_label_bipartite(self._graph, left_label, right_label)
-            degrees = butterfly_degrees(bipartite)
+            degrees = butterfly_degrees(bipartite, backend=self._backend)
             self._butterfly_cache[key] = degrees
             self._max_butterfly_cache[key] = max(degrees.values()) if degrees else 0
         return self._butterfly_cache[key]

@@ -20,7 +20,11 @@ This module implements:
   Algorithm 2 checks against ``b``;
 * :func:`brute_force_butterfly_degrees` — an O(n⁴) reference used by tests.
 
-All functions accept a :class:`~repro.graph.bipartite.BipartiteView`.
+All functions accept a :class:`~repro.graph.bipartite.BipartiteView`.  The
+counting entry points additionally accept ``backend="auto" | "object" |
+"csr"``; the CSR fast path (:mod:`repro.graph.csr`) produces identical
+counts over interned integer ids and is chosen automatically for large
+views.
 """
 
 from __future__ import annotations
@@ -29,12 +33,33 @@ import itertools
 from typing import Dict, Iterable, Optional, Tuple
 
 from repro.graph.bipartite import BipartiteView
+from repro.graph.csr import CSRBipartiteView, csr_butterfly_degrees
 from repro.graph.labeled_graph import Vertex
+
+#: Cross-edge count above which ``backend="auto"`` freezes the view and
+#: counts over flat arrays (below it the freeze overhead dominates).
+CSR_BUTTERFLY_MIN_EDGES = 128
 
 
 def _choose2(n: int) -> int:
     """Return ``n`` choose 2."""
     return n * (n - 1) // 2
+
+
+def _resolve_backend(bipartite: BipartiteView, backend: str) -> str:
+    """Map ``auto`` to ``csr``/``object`` by bipartite size."""
+    if backend != "auto":
+        if backend not in ("csr", "object"):
+            raise ValueError(f"unknown backend {backend!r}")
+        return backend
+    return "csr" if bipartite.num_edges() >= CSR_BUTTERFLY_MIN_EDGES else "object"
+
+
+def _csr_butterfly_degrees(bipartite: BipartiteView) -> Dict[Vertex, int]:
+    """Freeze the view and count butterflies over flat integer arrays."""
+    frozen = CSRBipartiteView.freeze(bipartite)
+    vertex_of = frozen.vertex_of
+    return {vertex_of(i): c for i, c in enumerate(csr_butterfly_degrees(frozen))}
 
 
 def butterfly_degree_of(bipartite: BipartiteView, vertex: Vertex) -> int:
@@ -55,15 +80,26 @@ def butterfly_degree_of(bipartite: BipartiteView, vertex: Vertex) -> int:
     return sum(_choose2(count) for count in paths.values())
 
 
-def butterfly_degrees(bipartite: BipartiteView) -> Dict[Vertex, int]:
-    """Return χ(v) for every vertex of the bipartite graph (Algorithm 3)."""
+def butterfly_degrees(bipartite: BipartiteView, backend: str = "auto") -> Dict[Vertex, int]:
+    """Return χ(v) for every vertex of the bipartite graph (Algorithm 3).
+
+    ``backend`` selects the counting substrate: ``"object"`` runs the plain
+    per-vertex wedge count over the adjacency sets, ``"csr"`` freezes the
+    view and runs the flat-array vertex-priority kernel
+    (:func:`repro.graph.csr.csr_butterfly_degrees`), and ``"auto"`` picks by
+    size.  Every backend returns exactly the same counts.
+    """
+    if _resolve_backend(bipartite, backend) == "csr":
+        return _csr_butterfly_degrees(bipartite)
     degrees: Dict[Vertex, int] = {}
     for vertex in bipartite.vertices():
         degrees[vertex] = butterfly_degree_of(bipartite, vertex)
     return degrees
 
 
-def butterfly_degrees_priority(bipartite: BipartiteView) -> Dict[Vertex, int]:
+def butterfly_degrees_priority(
+    bipartite: BipartiteView, backend: str = "auto"
+) -> Dict[Vertex, int]:
     """Return χ(v) for every vertex using single-enumeration wedge processing.
 
     Inspired by the vertex-priority counting of Wang et al. [41]: instead of
@@ -73,8 +109,12 @@ def butterfly_degrees_priority(bipartite: BipartiteView) -> Dict[Vertex, int]:
     contribution is credited to all four member vertices in one pass.  The
     enumeration side is chosen as the side with the smaller total degree so
     that the wedge work is minimised.  The output matches
-    :func:`butterfly_degrees` exactly; only the work performed differs.
+    :func:`butterfly_degrees` exactly; only the work performed differs.  The
+    ``"csr"``/``"auto"`` backends route to the flat-array implementation of
+    the same strategy.
     """
+    if _resolve_backend(bipartite, backend) == "csr":
+        return _csr_butterfly_degrees(bipartite)
     degrees: Dict[Vertex, int] = {v: 0 for v in bipartite.vertices()}
 
     left = bipartite.left()
@@ -136,7 +176,13 @@ def max_butterfly_degree_per_side(
     bipartite: BipartiteView,
     degrees: Optional[Dict[Vertex, int]] = None,
 ) -> Tuple[int, int]:
-    """Return ``(max_l, max_r)``: the maximum χ on the left and right sides."""
+    """Return ``(max_l, max_r)``: the maximum χ on the left and right sides.
+
+    A caller-supplied ``degrees`` map is always treated as authoritative —
+    including an *empty* dict (e.g. from a search step that skipped
+    butterfly counting), which yields ``(0, 0)`` rather than triggering a
+    silent recount.  Only ``degrees=None`` runs Algorithm 3.
+    """
     if degrees is None:
         degrees = butterfly_degrees(bipartite)
     max_left = max((degrees.get(v, 0) for v in bipartite.left()), default=0)
@@ -149,7 +195,12 @@ def vertices_with_butterfly_at_least(
     threshold: int,
     degrees: Optional[Dict[Vertex, int]] = None,
 ) -> Dict[str, set]:
-    """Return per-side sets of vertices whose butterfly degree is >= threshold."""
+    """Return per-side sets of vertices whose butterfly degree is >= threshold.
+
+    As with :func:`max_butterfly_degree_per_side`, a caller-supplied
+    ``degrees`` map (even an empty one) is reused verbatim; counting only
+    runs when ``degrees`` is ``None``.
+    """
     if degrees is None:
         degrees = butterfly_degrees(bipartite)
     return {
@@ -168,8 +219,7 @@ def enumerate_butterflies(
     """
     left = sorted(bipartite.left(), key=repr)
     for l1, l2 in itertools.combinations(left, 2):
-        common = [w for w in bipartite.neighbors(l1) if w in bipartite.neighbors(l2)]
-        common.sort(key=repr)
+        common = sorted(bipartite.neighbors(l1) & bipartite.neighbors(l2), key=repr)
         for r1, r2 in itertools.combinations(common, 2):
             yield (l1, l2, r1, r2)
 

@@ -67,6 +67,7 @@ def find_g0(
     parameters: BCCParameters,
     require_connected_query: bool = True,
     instrumentation=None,
+    backend: str = "auto",
 ) -> Optional[G0Result]:
     """Run Algorithm 2 and return the maximal candidate BCC, or ``None``.
 
@@ -84,16 +85,20 @@ def find_g0(
     instrumentation:
         Optional :class:`repro.eval.instrumentation.SearchInstrumentation`
         used to count butterfly-counting invocations.
+    backend:
+        Kernel substrate forwarded to the k-core extraction and the
+        butterfly counting (``"auto"`` routes large inputs through the CSR
+        fast path; results are identical either way).
     """
     left_label, right_label = resolve_query_labels(graph, q_left, q_right)
 
     # Lines 1-3: label groups and their connected k-cores around the queries.
     left_group = graph.label_induced_subgraph(left_label)
     right_group = graph.label_induced_subgraph(right_label)
-    left_core = k_core_containing(left_group, parameters.k1, q_left)
+    left_core = k_core_containing(left_group, parameters.k1, q_left, backend=backend)
     if left_core is None:
         return None
-    right_core = k_core_containing(right_group, parameters.k2, q_right)
+    right_core = k_core_containing(right_group, parameters.k2, q_right, backend=backend)
     if right_core is None:
         return None
 
@@ -103,7 +108,7 @@ def find_g0(
     bipartite = extract_bipartite(graph, left_vertices, right_vertices)
 
     # Lines 5-9: butterfly counting and the leader-existence check.
-    degrees = butterfly_degrees(bipartite)
+    degrees = butterfly_degrees(bipartite, backend=backend)
     if instrumentation is not None:
         instrumentation.record_butterfly_counting()
     max_left, max_right = max_butterfly_degree_per_side(bipartite, degrees)

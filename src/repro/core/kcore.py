@@ -19,20 +19,48 @@ The BCC model requires each labeled group of the community to be a k-core
 from __future__ import annotations
 
 from collections import deque
+from itertools import compress
 from typing import Dict, Iterable, List, Optional, Set
 
 from repro.exceptions import VertexNotFoundError
+from repro.graph.csr import csr_k_core_alive
 from repro.graph.labeled_graph import LabeledGraph, Vertex
 from repro.graph.traversal import connected_component
 
+#: Edge count above which ``backend="auto"`` prefers the CSR fast path for a
+#: full core decomposition (below it the freeze overhead dominates).
+CSR_CORE_MIN_EDGES = 2048
 
-def core_decomposition(graph: LabeledGraph) -> Dict[Vertex, int]:
+#: Edge count above which ``backend="auto"`` freezes for a single k-core
+#: peel even without a warm snapshot.
+CSR_PEEL_MIN_EDGES = 8192
+
+
+def _resolve_backend(graph: LabeledGraph, backend: str, min_edges: int) -> str:
+    """Map ``auto`` to ``csr``/``object`` by snapshot warmth and graph size."""
+    if backend != "auto":
+        if backend not in ("csr", "object"):
+            raise ValueError(f"unknown backend {backend!r}")
+        return backend
+    if graph.has_frozen() or graph.num_edges() >= min_edges:
+        return "csr"
+    return "object"
+
+
+def core_decomposition(graph: LabeledGraph, backend: str = "auto") -> Dict[Vertex, int]:
     """Return the coreness of every vertex (Batagelj–Zaversnik).
 
     The coreness δ(v) is the largest ``k`` such that ``v`` belongs to a
     k-core of the graph.  Runs in time linear in the number of edges using
-    bucket sorting by degree.
+    bucket sorting by degree.  ``backend`` selects the adjacency substrate
+    (``"auto"``, ``"object"``, ``"csr"``); every backend returns identical
+    values — the CSR path peels flat integer arrays and serves repeated
+    calls on an unmutated graph from the snapshot's coreness cache.
     """
+    if _resolve_backend(graph, backend, CSR_CORE_MIN_EDGES) == "csr":
+        frozen = graph.freeze()
+        vertex_of = frozen.vertex_of
+        return {vertex_of(i): c for i, c in enumerate(frozen.coreness())}
     degrees: Dict[Vertex, int] = {v: graph.degree(v) for v in graph.vertices()}
     if not degrees:
         return {}
@@ -70,10 +98,20 @@ def core_decomposition(graph: LabeledGraph) -> Dict[Vertex, int]:
     return coreness
 
 
-def k_core_vertices(graph: LabeledGraph, k: int) -> Set[Vertex]:
-    """Return the vertex set of the maximal k-core of ``graph`` (may be empty)."""
+def k_core_vertices(graph: LabeledGraph, k: int, backend: str = "auto") -> Set[Vertex]:
+    """Return the vertex set of the maximal k-core of ``graph`` (may be empty).
+
+    With the CSR backend the peel runs over flat arrays; when the snapshot's
+    coreness cache is warm (e.g. during a k-sweep) extraction degrades to an
+    O(|V|) coreness filter.  All backends return the identical (unique)
+    maximal k-core.
+    """
     if k <= 0:
         return set(graph.vertices())
+    if _resolve_backend(graph, backend, CSR_PEEL_MIN_EDGES) == "csr":
+        frozen = graph.freeze()
+        alive = csr_k_core_alive(frozen, k)
+        return set(compress(frozen.interner.vertices(), alive))
     degrees: Dict[Vertex, int] = {v: graph.degree(v) for v in graph.vertices()}
     alive: Set[Vertex] = set(degrees)
     queue = deque(v for v, d in degrees.items() if d < k)
@@ -92,13 +130,13 @@ def k_core_vertices(graph: LabeledGraph, k: int) -> Set[Vertex]:
     return alive
 
 
-def k_core(graph: LabeledGraph, k: int) -> LabeledGraph:
+def k_core(graph: LabeledGraph, k: int, backend: str = "auto") -> LabeledGraph:
     """Return the maximal k-core of ``graph`` as a new labeled graph."""
-    return graph.induced_subgraph(k_core_vertices(graph, k))
+    return graph.induced_subgraph(k_core_vertices(graph, k, backend=backend))
 
 
 def k_core_containing(
-    graph: LabeledGraph, k: int, vertex: Vertex
+    graph: LabeledGraph, k: int, vertex: Vertex, backend: str = "auto"
 ) -> Optional[LabeledGraph]:
     """Return the connected k-core containing ``vertex``, or ``None``.
 
@@ -107,7 +145,7 @@ def k_core_containing(
     """
     if vertex not in graph:
         raise VertexNotFoundError(vertex)
-    survivors = k_core_vertices(graph, k)
+    survivors = k_core_vertices(graph, k, backend=backend)
     if vertex not in survivors:
         return None
     core = graph.induced_subgraph(survivors)
@@ -185,9 +223,9 @@ def max_core_value_containing(graph: LabeledGraph, vertex: Vertex) -> int:
     return core_decomposition(graph).get(vertex, 0)
 
 
-def degeneracy(graph: LabeledGraph) -> int:
+def degeneracy(graph: LabeledGraph, backend: str = "auto") -> int:
     """Return the degeneracy (maximum coreness) of the graph."""
-    coreness = core_decomposition(graph)
+    coreness = core_decomposition(graph, backend=backend)
     return max(coreness.values()) if coreness else 0
 
 

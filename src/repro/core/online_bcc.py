@@ -23,6 +23,7 @@ from repro.core.bcc_model import BCCParameters, BCCResult, resolve_query_labels
 from repro.core.find_g0 import find_g0
 from repro.core.maintenance import maintain_bcc
 from repro.eval.instrumentation import SearchInstrumentation
+from repro.graph.csr import csr_bfs_distances
 from repro.graph.labeled_graph import LabeledGraph, Vertex
 from repro.graph.traversal import (
     INFINITE_DISTANCE,
@@ -42,6 +43,7 @@ def online_bcc_search(
     bulk_deletion: bool = True,
     max_iterations: Optional[int] = None,
     instrumentation: Optional[SearchInstrumentation] = None,
+    use_fast_path: bool = True,
 ) -> Optional[BCCResult]:
     """Run the Online-BCC greedy search (Algorithm 1).
 
@@ -64,6 +66,13 @@ def online_bcc_search(
         Optional safety cap on the number of peeling iterations.
     instrumentation:
         Optional counters (butterfly-counting calls, timings).
+    use_fast_path:
+        When True (default), the per-iteration query-distance sweep runs on
+        a CSR snapshot of ``G0`` with a dead-id mask (the greedy loop only
+        ever deletes vertices, so the snapshot stays valid for the whole
+        search).  The result is identical either way — same community, same
+        query distance, same iteration count; only the sweep substrate
+        differs.
 
     Returns
     -------
@@ -82,18 +91,64 @@ def online_bcc_search(
     original = g0.community
     query = [q_left, q_right]
 
+    if use_fast_path:
+        # The sweep substrate: G0 frozen once, shrunk via a dead-id mask.
+        frozen = original.freeze()
+        dead: Set[int] = set()
+        query_ids = [frozen.id_of(q) for q in query]
+        vertex_of = frozen.vertex_of
+        all_ids = range(frozen.num_vertices())
+
     best_vertices: Optional[Set[Vertex]] = None
     best_distance = math.inf
     iterations = 0
 
     while True:
-        with inst.time_query_distance():
-            distance_maps = query_distances(community, query)
-            current_distance = graph_query_distance(community, query, distance_maps)
+        if use_fast_path:
+            with inst.time_query_distance():
+                dist_maps = [
+                    csr_bfs_distances(frozen, qid, dead=dead) for qid in query_ids
+                ]
+                # One pass over the surviving ids computes dist(G, Q), the
+                # farthest vertex set and its distance, mirroring
+                # graph_query_distance + farthest_vertices exactly (including
+                # iteration order, which follows the freeze order of G0).
+                current_distance = 0.0
+                unreachable = False
+                max_distance = -1.0
+                candidate_ids: list = []
+                dist_left, dist_right = dist_maps[0], dist_maps[1]
+                qid_left, qid_right = query_ids[0], query_ids[1]
+                for vid in all_ids:
+                    if vid in dead:
+                        continue
+                    d_l = dist_left[vid]
+                    d_r = dist_right[vid]
+                    if d_l < 0 or d_r < 0:
+                        value = INFINITE_DISTANCE
+                        unreachable = True
+                    else:
+                        value = d_l if d_l >= d_r else d_r
+                    if value > current_distance:
+                        current_distance = value
+                    if vid == qid_left or vid == qid_right:
+                        continue
+                    if value > max_distance:
+                        max_distance = value
+                        candidate_ids = [vid]
+                    elif value == max_distance:
+                        candidate_ids.append(vid)
+                if unreachable:
+                    current_distance = INFINITE_DISTANCE
+            candidates = [vertex_of(vid) for vid in candidate_ids]
+        else:
+            with inst.time_query_distance():
+                distance_maps = query_distances(community, query)
+                current_distance = graph_query_distance(community, query, distance_maps)
+            candidates, max_distance = farthest_vertices(community, query, distance_maps)
         if current_distance < best_distance:
             best_distance = current_distance
             best_vertices = set(community.vertices())
-        candidates, max_distance = farthest_vertices(community, query, distance_maps)
         if not candidates or max_distance <= 0:
             break
         if max_iterations is not None and iterations >= max_iterations:
@@ -111,6 +166,9 @@ def online_bcc_search(
         )
         iterations += 1
         inst.record_iteration(deleted=len(outcome.removed))
+        if use_fast_path:
+            for removed in outcome.removed:
+                dead.add(frozen.id_of(removed))
         if not outcome.valid:
             break
 

@@ -19,6 +19,14 @@ Algorithm 5:
 
 Vertices that become unreachable get distance ``inf`` and are therefore
 selected for deletion first by the greedy loop.
+
+The tracker supports two substrates (``backend="auto" | "object" | "csr"``).
+The CSR backend freezes the community once (:mod:`repro.graph.csr`) and
+maintains flat per-id distance lists plus a dead-id set; this is valid
+because the search loops only ever *delete* vertices, and the caller reports
+every deletion batch through :meth:`QueryDistanceTracker.remove_vertices`.
+Both backends return identical distances; ``auto`` picks CSR once the
+community is large enough to amortize the freeze.
 """
 
 from __future__ import annotations
@@ -26,8 +34,14 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.graph.csr import csr_bfs_distances, csr_multi_source_bfs
 from repro.graph.labeled_graph import LabeledGraph, Vertex
 from repro.graph.traversal import INFINITE_DISTANCE, bfs_distances, multi_source_bfs
+
+#: Community edge count above which ``backend="auto"`` freezes a CSR
+#: snapshot; the tracker runs many sweeps per search, so the threshold is
+#: lower than for one-shot kernels.
+CSR_TRACKER_MIN_EDGES = 256
 
 
 class QueryDistanceTracker:
@@ -39,17 +53,43 @@ class QueryDistanceTracker:
         The community graph; the tracker reads it but never mutates it.  The
         caller must call :meth:`remove_vertices` *after* deleting the vertices
         from the graph (the tracker keeps its own copy of the pre-deletion
-        distances, which is what Algorithm 5 needs).
+        distances, which is what Algorithm 5 needs).  Deletion is the only
+        supported mutation while a tracker is attached.
     query_vertices:
         The query vertices ``Q``.
+    backend:
+        Distance-sweep substrate; see the module docstring.
     """
 
-    def __init__(self, community: LabeledGraph, query_vertices: Sequence[Vertex]) -> None:
+    def __init__(
+        self,
+        community: LabeledGraph,
+        query_vertices: Sequence[Vertex],
+        backend: str = "auto",
+    ) -> None:
         self._community = community
         self._queries: List[Vertex] = list(query_vertices)
-        self._distances: Dict[Vertex, Dict[Vertex, float]] = {}
         self.full_recomputations = 0
         self.partial_updates = 0
+        if backend == "auto":
+            backend = (
+                "csr" if community.num_edges() >= CSR_TRACKER_MIN_EDGES else "object"
+            )
+        elif backend not in ("csr", "object"):
+            raise ValueError(f"unknown backend {backend!r}")
+        self._backend = backend
+        if backend == "csr":
+            self._frozen = community.freeze()
+            self._dead: Set[int] = set()
+            self._query_ids: Dict[Vertex, Optional[int]] = {
+                q: self._frozen.try_id_of(q) for q in self._queries
+            }
+            # Per-query distance list indexed by id; UNREACHED encodes inf,
+            # None encodes "query vertex gone" (the empty map of the object
+            # backend).
+            self._id_dist: Dict[Vertex, Optional[List[int]]] = {}
+        else:
+            self._distances: Dict[Vertex, Dict[Vertex, float]] = {}
         for q in self._queries:
             self.recompute(q)
 
@@ -59,6 +99,15 @@ class QueryDistanceTracker:
     def recompute(self, query: Optional[Vertex] = None) -> None:
         """Recompute distances from scratch for one query vertex (or all)."""
         targets = [query] if query is not None else self._queries
+        if self._backend == "csr":
+            for q in targets:
+                self.full_recomputations += 1
+                qid = self._query_ids.get(q)
+                if qid is None or qid in self._dead:
+                    self._id_dist[q] = None
+                    continue
+                self._id_dist[q] = csr_bfs_distances(self._frozen, qid, dead=self._dead)
+            return
         for q in targets:
             self.full_recomputations += 1
             if q not in self._community:
@@ -84,6 +133,18 @@ class QueryDistanceTracker:
         """
         deleted_set = {v for v in deleted}
         if not deleted_set:
+            return
+        if self._backend == "csr":
+            deleted_ids = set()
+            for v in deleted_set:
+                vid = self._frozen.try_id_of(v)
+                if vid is not None and vid not in self._dead:
+                    deleted_ids.add(vid)
+            # d_min is taken from the stored pre-deletion distances, so the
+            # dead set can be extended before the per-query updates.
+            self._dead |= deleted_ids
+            for q in self._queries:
+                self._update_one_query_csr(q, deleted_ids)
             return
         for q in self._queries:
             self._update_one_query(q, deleted_set)
@@ -129,11 +190,55 @@ class QueryDistanceTracker:
                 old[v] = INFINITE_DISTANCE
         self._distances[query] = old
 
+    def _update_one_query_csr(self, query: Vertex, deleted_ids: Set[int]) -> None:
+        """Flat-array mirror of :meth:`_update_one_query` (Algorithm 5)."""
+        qid = self._query_ids.get(query)
+        old = self._id_dist.get(query)
+        if qid is None or qid in self._dead or old is None:
+            self._id_dist[query] = None
+            return
+        d_min = math.inf
+        for vid in deleted_ids:
+            d = old[vid]
+            if 0 <= d < d_min:
+                d_min = d
+        if math.isinf(d_min):
+            self.partial_updates += 1
+            return
+        settled_seeds: List[Tuple[int, int]] = []
+        to_update: Set[int] = set()
+        dead = self._dead
+        for vid, dist in enumerate(old):
+            if vid in dead:
+                continue
+            if 0 <= dist <= d_min:
+                settled_seeds.append((vid, dist))
+            else:
+                to_update.add(vid)
+        if not to_update:
+            self.partial_updates += 1
+            return
+        self.partial_updates += 1
+        reached = csr_multi_source_bfs(
+            self._frozen, settled_seeds, dead=dead, restrict_to=to_update
+        )
+        for vid in to_update:
+            old[vid] = reached[vid]
+
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
     def distance(self, vertex: Vertex, query: Vertex) -> float:
         """Return ``dist(vertex, query)`` in the current community (inf if unknown)."""
+        if self._backend == "csr":
+            dist_list = self._id_dist.get(query)
+            if dist_list is None:
+                return INFINITE_DISTANCE
+            vid = self._frozen.try_id_of(vertex)
+            if vid is None or vid in self._dead:
+                return INFINITE_DISTANCE
+            d = dist_list[vid]
+            return float(d) if d >= 0 else INFINITE_DISTANCE
         return self._distances.get(query, {}).get(vertex, INFINITE_DISTANCE)
 
     def query_distance(self, vertex: Vertex) -> float:
@@ -146,9 +251,36 @@ class QueryDistanceTracker:
             worst = max(worst, d)
         return worst
 
+    def _iter_id_query_distances(self):
+        """Yield ``(vid, dist(v, Q))`` over surviving ids (CSR backend)."""
+        dist_lists = [self._id_dist.get(q) for q in self._queries]
+        dead = self._dead
+        for vid in range(self._frozen.num_vertices()):
+            if vid in dead:
+                continue
+            worst = 0.0
+            for dist_list in dist_lists:
+                if dist_list is None:
+                    worst = INFINITE_DISTANCE
+                    break
+                d = dist_list[vid]
+                if d < 0:
+                    worst = INFINITE_DISTANCE
+                    break
+                if d > worst:
+                    worst = d
+            yield vid, worst
+
     def graph_query_distance(self) -> float:
         """Return ``dist(G, Q)``: the maximum query distance over all vertices."""
         worst = 0.0
+        if self._backend == "csr":
+            for _, value in self._iter_id_query_distances():
+                if math.isinf(value):
+                    return INFINITE_DISTANCE
+                if value > worst:
+                    worst = value
+            return worst
         for v in self._community.vertices():
             d = self.query_distance(v)
             if math.isinf(d):
@@ -158,9 +290,24 @@ class QueryDistanceTracker:
 
     def farthest_vertices(self) -> Tuple[List[Vertex], float]:
         """Return the non-query vertices with maximum query distance, and that distance."""
-        query_set = set(self._queries)
         best_distance = -1.0
         best: List[Vertex] = []
+        if self._backend == "csr":
+            query_ids = {
+                vid for vid in self._query_ids.values() if vid is not None
+            }
+            vertex_of = self._frozen.vertex_of
+            best_ids: List[int] = []
+            for vid, value in self._iter_id_query_distances():
+                if vid in query_ids:
+                    continue
+                if value > best_distance:
+                    best_distance = value
+                    best_ids = [vid]
+                elif value == best_distance:
+                    best_ids.append(vid)
+            return [vertex_of(vid) for vid in best_ids], best_distance
+        query_set = set(self._queries)
         for v in self._community.vertices():
             if v in query_set:
                 continue
@@ -174,4 +321,14 @@ class QueryDistanceTracker:
 
     def distance_map(self, query: Vertex) -> Dict[Vertex, float]:
         """Return a copy of the distance map for one query vertex."""
+        if self._backend == "csr":
+            dist_list = self._id_dist.get(query)
+            if dist_list is None:
+                return {}
+            vertex_of = self._frozen.vertex_of
+            return {
+                vertex_of(vid): (float(d) if d >= 0 else INFINITE_DISTANCE)
+                for vid, d in enumerate(dist_list)
+                if vid not in self._dead
+            }
         return dict(self._distances.get(query, {}))

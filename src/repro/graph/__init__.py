@@ -1,6 +1,16 @@
-"""Graph substrate: labeled graphs, traversal, bipartite views, I/O, generators."""
+"""Graph substrate: labeled graphs, traversal, bipartite views, CSR backend, I/O, generators."""
 
 from repro.graph.bipartite import BipartiteView, extract_bipartite, extract_label_bipartite
+from repro.graph.csr import (
+    CSRBipartiteView,
+    CSRGraph,
+    VertexInterner,
+    csr_bfs_distances,
+    csr_butterfly_degrees,
+    csr_core_decomposition,
+    csr_k_core_alive,
+    csr_multi_source_bfs,
+)
 from repro.graph.labeled_graph import LabeledGraph, union_graphs
 from repro.graph.statistics import NetworkStatistics, compute_statistics, statistics_table
 from repro.graph.traversal import (
@@ -22,12 +32,20 @@ from repro.graph.traversal import (
 
 __all__ = [
     "BipartiteView",
+    "CSRBipartiteView",
+    "CSRGraph",
     "INFINITE_DISTANCE",
     "LabeledGraph",
     "NetworkStatistics",
+    "VertexInterner",
     "are_connected",
     "bfs_distances",
     "compute_statistics",
+    "csr_bfs_distances",
+    "csr_butterfly_degrees",
+    "csr_core_decomposition",
+    "csr_k_core_alive",
+    "csr_multi_source_bfs",
     "connected_component",
     "connected_components",
     "diameter",

@@ -1,0 +1,741 @@
+"""CSR fast-path backend: integer-interned flat-array graph kernels.
+
+The object substrate (:class:`~repro.graph.labeled_graph.LabeledGraph` and
+:class:`~repro.graph.bipartite.BipartiteView`) keys adjacency by arbitrary
+hashable vertices, which is flexible but pays a Python hash plus boxed
+set/dict machinery on every neighbour visit.  The hot kernels of the BCC
+pipeline — butterfly-degree counting (Algorithm 3), k-core peeling
+(Algorithms 2/4) and the per-iteration BFS query-distance sweep
+(Algorithms 1/5) — spend almost all of their time in exactly those visits,
+so this module provides a compact CSR (compressed sparse row) mirror of both
+graph classes and ports the three kernels to operate natively on integer ids
+over flat arrays.  This is the same layout that makes the
+Batagelj–Zaversnik peeling [3] and the vertex-priority butterfly counting of
+Wang et al. [41] fast in practice.
+
+The interning / freeze–thaw contract
+------------------------------------
+
+* A :class:`VertexInterner` maps vertices and labels to dense integer ids
+  (``0 .. n-1``) and back.  Ids are assigned in **iteration order** of the
+  frozen graph, so a CSR snapshot visits vertices in exactly the same order
+  as the object graph it mirrors — sweep results that depend on iteration
+  order (e.g. tie-breaking among farthest vertices) are therefore identical
+  between the two backends.
+* :meth:`CSRGraph.freeze` takes an immutable snapshot of a
+  :class:`LabeledGraph` (:meth:`LabeledGraph.freeze` caches one per graph
+  version, so repeated kernel calls on an unmutated graph pay the freeze
+  once); :meth:`CSRGraph.thaw` converts back.  A frozen graph is **never
+  mutated**: shrinking phases instead carry a ``dead`` id set which every
+  kernel accepts.  This works because the BCC searches only ever *delete
+  vertices* from a community — every intermediate graph is an induced
+  subgraph of the frozen one (see :mod:`repro.core.online_bcc`).
+* Mutating phases (Algorithm 4 cascades, graph construction, dataset
+  generation) keep using the object substrate; the CSR backend is a read
+  path only.
+
+When each backend is used
+-------------------------
+
+The object-facing kernels (:func:`repro.core.butterfly.butterfly_degrees`,
+:func:`repro.core.kcore.core_decomposition`, ...) accept
+``backend="auto" | "object" | "csr"``.  ``auto`` runs the CSR kernel once
+the graph is large enough for the freeze cost to be recovered and falls
+back to the object code on small inputs; both paths return exactly the same
+values (the randomized parity suite in ``tests/core/test_backend_parity.py``
+enforces this).  The search drivers (:func:`repro.core.online_bcc.
+online_bcc_search`, :class:`repro.core.query_distance.QueryDistanceTracker`)
+freeze the candidate community once and sweep over the flat arrays with a
+``dead`` mask.
+
+The adjacency is built and iterated as flat plain lists — CPython re-boxes
+every ``array`` element on access while list elements are shared references,
+so lists are what the kernels run on.  Compact ``array('l')`` /
+``array('i')`` views of the same offset/neighbour data are available through
+the :attr:`~_FlatAdjacency.offsets` / :attr:`~_FlatAdjacency.neighbors`
+properties (materialized lazily) for serialization or memory-tight export;
+no third-party dependencies anywhere.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections import Counter, deque
+from itertools import accumulate, chain
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import VertexNotFoundError
+from repro.graph.bipartite import BipartiteView
+from repro.graph.labeled_graph import Label, LabeledGraph, Vertex
+
+#: Unreached/unknown distance sentinel used by the BFS kernels.
+UNREACHED = -1
+
+
+class VertexInterner:
+    """Bidirectional vertex <-> dense integer id (and label <-> label id) map.
+
+    Ids are dense and start at 0, in the order vertices are interned; the
+    freeze helpers intern in graph iteration order so id order equals the
+    object graph's iteration order.  When every vertex already *is* its own
+    dense id (``vertex == index``, the common case for synthetic networks),
+    the interner detects it and skips the translation dict entirely.
+    """
+
+    __slots__ = ("_id_of", "_vertex_of", "_identity", "_label_id_of", "_label_of")
+
+    def __init__(self, order: Optional[Sequence[Vertex]] = None) -> None:
+        self._vertex_of: List[Vertex] = list(order) if order is not None else []
+        self._identity: bool = all(
+            isinstance(v, int) and not isinstance(v, bool) and v == i
+            for i, v in enumerate(self._vertex_of)
+        )
+        self._id_of: Optional[Dict[Vertex, int]] = (
+            None
+            if self._identity
+            else dict(zip(self._vertex_of, range(len(self._vertex_of))))
+        )
+        self._label_id_of: Dict[Label, int] = {}
+        self._label_of: List[Label] = []
+
+    # -- vertices -------------------------------------------------------
+    def intern_vertex(self, vertex: Vertex) -> int:
+        """Return the id of ``vertex``, assigning the next dense id if new."""
+        if self._identity:
+            # Materialize the dict lazily the first time interning leaves the
+            # identity regime.
+            if (
+                isinstance(vertex, int)
+                and not isinstance(vertex, bool)
+                and vertex == len(self._vertex_of)
+            ):
+                self._vertex_of.append(vertex)
+                return vertex
+            if isinstance(vertex, int) and 0 <= vertex < len(self._vertex_of):
+                return vertex
+            self._id_of = dict(zip(self._vertex_of, range(len(self._vertex_of))))
+            self._identity = False
+        vid = self._id_of.get(vertex)  # type: ignore[union-attr]
+        if vid is None:
+            vid = len(self._vertex_of)
+            self._id_of[vertex] = vid  # type: ignore[index]
+            self._vertex_of.append(vertex)
+        return vid
+
+    def id_of(self, vertex: Vertex) -> int:
+        """Return the id of an interned ``vertex`` (raise if unknown)."""
+        vid = self.try_id_of(vertex)
+        if vid is None:
+            raise VertexNotFoundError(vertex)
+        return vid
+
+    def try_id_of(self, vertex: Vertex) -> Optional[int]:
+        """Return the id of ``vertex`` or ``None`` when it was never interned."""
+        if self._identity:
+            if (
+                isinstance(vertex, int)
+                and not isinstance(vertex, bool)
+                and 0 <= vertex < len(self._vertex_of)
+            ):
+                return vertex
+            return None
+        return self._id_of.get(vertex)  # type: ignore[union-attr]
+
+    def vertex_of(self, vid: int) -> Vertex:
+        """Return the vertex object behind ``vid``."""
+        return self._vertex_of[vid]
+
+    def vertices(self) -> List[Vertex]:
+        """Return the interned vertices in id order (do not mutate)."""
+        return self._vertex_of
+
+    def __len__(self) -> int:
+        return len(self._vertex_of)
+
+    def __contains__(self, vertex: Vertex) -> bool:
+        return self.try_id_of(vertex) is not None
+
+    # -- labels ---------------------------------------------------------
+    def intern_label(self, label: Label) -> int:
+        """Return the label id of ``label``, assigning a new one if needed."""
+        lid = self._label_id_of.get(label)
+        if lid is None:
+            lid = len(self._label_of)
+            self._label_id_of[label] = lid
+            self._label_of.append(label)
+        return lid
+
+    def label_of(self, lid: int) -> Label:
+        """Return the label object behind ``lid``."""
+        return self._label_of[lid]
+
+    def num_labels(self) -> int:
+        """Return how many distinct labels have been interned."""
+        return len(self._label_of)
+
+
+class _FlatAdjacency:
+    """Shared flat-array adjacency plumbing for the two CSR classes.
+
+    The adjacency is built as plain flat lists (CPython constructs those at
+    C speed and kernels iterate them without re-boxing every element); the
+    canonical compact ``array('l')`` / ``array('i')`` storage is
+    materialized lazily through the :attr:`offsets` / :attr:`neighbors`
+    properties, so freezes that only feed kernels never pay for it.
+    """
+
+    __slots__ = ("interner", "_offsets_arr", "_neighbors_arr", "_offs", "_nbrs", "_slices", "_deg")
+
+    def __init__(self, interner: VertexInterner, offsets: List[int], neighbors: List[int]) -> None:
+        self.interner = interner
+        self._offs: List[int] = offsets
+        self._nbrs: List[int] = neighbors
+        self._offsets_arr: Optional[array] = None
+        self._neighbors_arr: Optional[array] = None
+        self._slices: Optional[List[List[int]]] = None
+        self._deg: Optional[List[int]] = None
+
+    @property
+    def offsets(self) -> array:
+        """``array('l')`` of length ``n + 1``; neighbours of id ``v`` live in
+        ``neighbors[offsets[v]:offsets[v + 1]]``."""
+        if self._offsets_arr is None:
+            self._offsets_arr = array("l", self._offs)
+        return self._offsets_arr
+
+    @property
+    def neighbors(self) -> array:
+        """``array('i')`` of neighbour ids, ``2 |E|`` entries."""
+        if self._neighbors_arr is None:
+            self._neighbors_arr = array("i", self._nbrs)
+        return self._neighbors_arr
+
+    # -- sizes ----------------------------------------------------------
+    def num_vertices(self) -> int:
+        """Return the number of frozen vertices."""
+        return len(self._offs) - 1
+
+    def num_edges(self) -> int:
+        """Return the number of frozen undirected edges."""
+        return len(self._nbrs) // 2
+
+    def degree(self, vid: int) -> int:
+        """Return the frozen degree of id ``vid``."""
+        return self._offs[vid + 1] - self._offs[vid]
+
+    def degree_list(self) -> List[int]:
+        """Return (and cache) the per-id degree list."""
+        if self._deg is None:
+            offs, _ = self.adjacency_lists()
+            self._deg = [offs[i + 1] - offs[i] for i in range(len(offs) - 1)]
+        return self._deg
+
+    # -- id plumbing -----------------------------------------------------
+    def id_of(self, vertex: Vertex) -> int:
+        """Return the id of ``vertex`` (raise if not frozen)."""
+        return self.interner.id_of(vertex)
+
+    def try_id_of(self, vertex: Vertex) -> Optional[int]:
+        """Return the id of ``vertex`` or ``None`` when not part of the snapshot."""
+        return self.interner.try_id_of(vertex)
+
+    def vertex_of(self, vid: int) -> Vertex:
+        """Return the vertex object behind ``vid``."""
+        return self.interner.vertex_of(vid)
+
+    # -- kernel views ----------------------------------------------------
+    def adjacency_lists(self) -> Tuple[List[int], List[int]]:
+        """Return ``(offsets, neighbors)`` as plain lists for kernels."""
+        return self._offs, self._nbrs
+
+    def adjacency_slices(self) -> List[List[int]]:
+        """Return (and cache) per-id neighbour lists sliced out of the flat array.
+
+        Kernels that revisit neighbourhoods many times (BFS sweeps, wedge
+        enumeration) iterate these shared slices instead of re-slicing the
+        flat array on every visit.  Neighbour *order* within a slice is not
+        part of the contract (the butterfly kernel rank-sorts in place).
+        """
+        if self._slices is None:
+            offs, nbrs = self.adjacency_lists()
+            self._slices = [
+                nbrs[offs[i] : offs[i + 1]] for i in range(len(offs) - 1)
+            ]
+        return self._slices
+
+
+class CSRGraph(_FlatAdjacency):
+    """An immutable CSR snapshot of a :class:`LabeledGraph`.
+
+    Construction is via :meth:`freeze`; the inverse bridge is :meth:`thaw`.
+    ``labels`` holds one label id per vertex id.  The snapshot lazily caches
+    derived read-only structures (degree list, adjacency slices, coreness)
+    so repeated kernel calls amortize their construction.
+    """
+
+    __slots__ = ("labels", "_coreness")
+
+    def __init__(
+        self,
+        interner: VertexInterner,
+        offsets: List[int],
+        neighbors: List[int],
+        labels: array,
+    ) -> None:
+        super().__init__(interner, offsets, neighbors)
+        self.labels = labels
+        self._coreness: Optional[List[int]] = None
+
+    # ------------------------------------------------------------------
+    # freeze / thaw bridge
+    # ------------------------------------------------------------------
+    @classmethod
+    def freeze(
+        cls, graph: LabeledGraph, vertices: Optional[Iterable[Vertex]] = None
+    ) -> "CSRGraph":
+        """Snapshot ``graph`` (or the subgraph induced by ``vertices``).
+
+        Ids follow the iteration order of ``graph`` (restricted to
+        ``vertices`` when given), so CSR sweeps visit vertices in the same
+        order as object-graph sweeps.  Prefer
+        :meth:`LabeledGraph.freeze`, which caches the snapshot per graph
+        version.
+        """
+        adj = graph._adj  # friend access: freezing is a graph-layer concern
+        vertex_labels = graph._labels
+        if vertices is None:
+            order = list(adj)
+            interner = VertexInterner(order)
+            offsets = [0]
+            offsets.extend(accumulate(map(len, adj.values())))
+            flat = chain.from_iterable(adj.values())
+            if interner._identity:
+                neighbors = list(flat)
+            else:
+                neighbors = list(
+                    map(interner._id_of.__getitem__, flat)  # type: ignore[union-attr]
+                )
+        else:
+            keep = {v for v in vertices if v in adj}
+            order = [v for v in adj if v in keep]
+            interner = VertexInterner(order)
+            id_map = {v: i for i, v in enumerate(order)}
+            neighbors = []
+            offsets = [0] * (len(order) + 1)
+            for i, v in enumerate(order):
+                neighbors.extend(id_map[w] for w in adj[v] if w in keep)
+                offsets[i + 1] = len(neighbors)
+        intern_label = interner.intern_label
+        labels = array("i", [intern_label(vertex_labels[v]) for v in order])
+        return cls(interner, offsets, neighbors, labels)
+
+    def thaw(self, dead: Optional[Set[int]] = None) -> LabeledGraph:
+        """Rebuild a :class:`LabeledGraph`, dropping ids in ``dead``.
+
+        This realizes "induced subgraph on the survivors" without touching
+        the frozen arrays.
+        """
+        g = LabeledGraph()
+        interner = self.interner
+        offs, nbrs = self.adjacency_lists()
+        labels = self.labels
+        for v in range(len(labels)):
+            if dead is not None and v in dead:
+                continue
+            g.add_vertex(interner.vertex_of(v), label=interner.label_of(labels[v]))
+        for v in range(len(labels)):
+            if dead is not None and v in dead:
+                continue
+            vertex = interner.vertex_of(v)
+            for w in nbrs[offs[v] : offs[v + 1]]:
+                if w > v and (dead is None or w not in dead):
+                    g.add_edge(vertex, interner.vertex_of(w))
+        return g
+
+    # ------------------------------------------------------------------
+    # cached decompositions
+    # ------------------------------------------------------------------
+    def coreness(self) -> List[int]:
+        """Return (and cache) the coreness per id.
+
+        k-core extraction then reduces to an O(n) filter because the maximal
+        k-core is exactly ``{v : coreness(v) >= k}``; a k-sweep (Algorithm 2
+        runs one extraction per query side, Fig. 8 sweeps k) pays the
+        peeling once per snapshot.
+        """
+        if self._coreness is None:
+            self._coreness = csr_core_decomposition(self)
+        return self._coreness
+
+    def label_of_id(self, vid: int) -> Label:
+        """Return the label object of id ``vid``."""
+        return self.interner.label_of(self.labels[vid])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CSRGraph(|V|={self.num_vertices()}, |E|={self.num_edges()})"
+
+
+class CSRBipartiteView(_FlatAdjacency):
+    """An immutable CSR snapshot of a :class:`BipartiteView`.
+
+    Left vertices receive ids ``0 .. n_left - 1`` (in the view's left-set
+    iteration order), right vertices the remaining ids, so ``vid < n_left``
+    tests the side in O(1).
+    """
+
+    __slots__ = ("n_left", "_rank_sorted")
+
+    def __init__(
+        self, interner: VertexInterner, offsets: List[int], neighbors: List[int], n_left: int
+    ) -> None:
+        super().__init__(interner, offsets, neighbors)
+        self.n_left = n_left
+        self._rank_sorted: Optional[Tuple[List[int], List[List[int]]]] = None
+
+    @classmethod
+    def freeze(cls, view: BipartiteView) -> "CSRBipartiteView":
+        """Snapshot a :class:`BipartiteView` into flat arrays."""
+        adj = view._adj  # friend access, as in CSRGraph.freeze
+        left = [v for v in adj if v in view._left]
+        right = [v for v in adj if v not in view._left]
+        order = left + right
+        interner = VertexInterner(order)
+        id_map = None if interner._identity else interner._id_of
+        offsets = [0]
+        offsets.extend(accumulate(len(adj[v]) for v in order))
+        flat = chain.from_iterable(adj[v] for v in order)
+        if id_map is None:
+            neighbors = list(flat)
+        else:
+            neighbors = list(map(id_map.__getitem__, flat))
+        return cls(interner, offsets, neighbors, len(left))
+
+    def is_left(self, vid: int) -> bool:
+        """Return ``True`` when ``vid`` lies on the left side."""
+        return vid < self.n_left
+
+    def rank_sorted(self) -> Tuple[List[int], List[List[int]]]:
+        """Return (and cache) ``(rank, rank_slices)`` for the wedge kernel.
+
+        ``rank`` is the (degree, id) priority rank per id.  As a side effect
+        the shared adjacency slices are sorted by ascending rank and
+        ``rank_slices[u]`` holds the parallel sorted rank values, so the
+        higher-priority portion of any neighbourhood is a contiguous suffix
+        locatable by bisection.  Neighbour order is not part of any kernel
+        contract, so the in-place sort is safe.
+        """
+        if self._rank_sorted is None:
+            deg = self.degree_list()
+            n = len(deg)
+            rank = [0] * n
+            for r, v in enumerate(sorted(range(n), key=lambda x: (deg[x], x))):
+                rank[v] = r
+            getter = rank.__getitem__
+            slices = self.adjacency_slices()
+            for nbr_list in slices:
+                nbr_list.sort(key=getter)
+            rank_slices = [list(map(getter, nbr_list)) for nbr_list in slices]
+            self._rank_sorted = (rank, rank_slices)
+        return self._rank_sorted
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CSRBipartiteView(|L|={self.n_left}, "
+            f"|R|={self.num_vertices() - self.n_left}, |E|={self.num_edges()})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Butterfly counting kernels (Algorithm 3 / Wang et al. [41])
+# ----------------------------------------------------------------------
+def csr_butterfly_degrees(bip: CSRBipartiteView) -> List[int]:
+    """Return χ(v) per id via single-enumeration wedge counting.
+
+    Mirrors the vertex-priority strategy of
+    :func:`repro.core.butterfly.butterfly_degrees_priority`: every butterfly
+    is enumerated exactly once — from the lower-priority endpoint of its
+    same-side pair on the enumeration side — and credited to all four
+    members.  Because adjacency is rank-sorted (see
+    :meth:`CSRBipartiteView.rank_sorted`), the higher-priority wedge
+    endpoints reachable through a middle ``u`` form a contiguous slice
+    suffix, so the per-wedge counting runs at C speed through
+    ``Counter.update`` and the middle credits collapse to
+    ``sum(counts over the suffix) - len(suffix)``.  The enumeration side is
+    the one whose middles generate less wedge work.  Output is exact —
+    identical to the plain Algorithm 3 counts.
+    """
+    n = bip.num_vertices()
+    chi = [0] * n
+    if n == 0:
+        return chi
+    rank, rank_slices = bip.rank_sorted()
+    slices = bip.adjacency_slices()
+    deg = bip.degree_list()
+    n_left = bip.n_left
+    # Wedge work of enumerating from a side == sum of squared middle degrees.
+    left_work = sum(deg[u] * deg[u] for u in range(n_left, n))
+    right_work = sum(deg[u] * deg[u] for u in range(n_left))
+    if left_work <= right_work:
+        side = range(n_left)
+    else:
+        side = range(n_left, n)
+    # Enumerate in ascending rank so each middle's accept cut only moves
+    # forward: the bisection per wedge group amortizes into O(deg) pointer
+    # advances over the whole run.
+    order = sorted(side, key=rank.__getitem__)
+    ptr = [0] * n
+    for v in order:
+        sv = slices[v]
+        if not sv:
+            continue
+        rv = rank[v]
+        suffixes: List[List[int]] = []
+        keep = suffixes.append
+        wedge_ends: List[int] = []
+        extend = wedge_ends.extend
+        for u in sv:
+            ranks_u = rank_slices[u]
+            p = ptr[u]
+            end = len(ranks_u)
+            while p < end and ranks_u[p] <= rv:
+                p += 1
+            ptr[u] = p
+            suffix = slices[u][p:]
+            keep(suffix)
+            if suffix:
+                extend(suffix)
+        if not wedge_ends:
+            continue
+        counts = Counter(wedge_ends)
+        acc = 0
+        for w, c in counts.items():
+            if c > 1:
+                d = c * (c - 1) // 2
+                chi[w] += d
+                acc += d
+        if acc == 0:
+            continue  # every endpoint pair has a single wedge: no butterflies
+        chi[v] += acc
+        # Each middle u of an endpoint pair (v, w) with c wedges participates
+        # in c - 1 of that pair's butterflies:
+        # sum over the accepted suffix of (c_w - 1).
+        lookup = counts.__getitem__
+        for u, suffix in zip(sv, suffixes):
+            if suffix:
+                chi[u] += sum(map(lookup, suffix)) - len(suffix)
+    return chi
+
+
+def csr_butterfly_degrees_two_sided(bip: CSRBipartiteView) -> List[int]:
+    """Return χ(v) per id by per-vertex wedge counting (plain Algorithm 3).
+
+    Enumerates every vertex's own wedges over the flat arrays; kept as a
+    second exact kernel for cross-validation of
+    :func:`csr_butterfly_degrees` and for instrumented comparisons.
+    """
+    n = bip.num_vertices()
+    chi = [0] * n
+    if n == 0:
+        return chi
+    slices = bip.adjacency_slices()
+    paths = [0] * n
+    touched: List[int] = []
+    append = touched.append
+    for v in range(n):
+        for u in slices[v]:
+            for w in slices[u]:
+                if w == v:
+                    continue
+                c = paths[w]
+                if c == 0:
+                    append(w)
+                paths[w] = c + 1
+        total = 0
+        for w in touched:
+            c = paths[w]
+            total += c * (c - 1) // 2
+            paths[w] = 0
+        touched.clear()
+        chi[v] = total
+    return chi
+
+
+# ----------------------------------------------------------------------
+# k-core kernels (Batagelj–Zaversnik [3])
+# ----------------------------------------------------------------------
+def csr_core_decomposition(graph: CSRGraph) -> List[int]:
+    """Return the coreness per id (bucket peeling over flat lists).
+
+    Lazy-bucket formulation of [3]: vertices are bucketed by degree and
+    peeled in increasing order; stale bucket entries are skipped on pop and
+    removal is encoded as degree ``-1`` so the inner relaxation needs no
+    separate membership test.
+    """
+    n = graph.num_vertices()
+    if n == 0:
+        return []
+    slices = graph.adjacency_slices()
+    cd = list(graph.degree_list())
+    max_degree = max(cd)
+    buckets: List[List[int]] = [[] for _ in range(max_degree + 1)]
+    for v in range(n):
+        buckets[cd[v]].append(v)
+    core = [0] * n
+    k = 0
+    for d in range(max_degree + 1):
+        queue = buckets[d]
+        i = 0
+        while i < len(queue):
+            v = queue[i]
+            i += 1
+            cv = cd[v]
+            if cv > d or cv < 0:
+                continue  # re-bucketed at another degree, or already peeled
+            if cv > k:
+                k = cv
+            core[v] = k
+            cd[v] = -1
+            enqueue = queue.append
+            for u in slices[v]:
+                cu = cd[u]
+                if cu > cv:
+                    cu -= 1
+                    cd[u] = cu
+                    if cu <= d:
+                        enqueue(u)
+                    else:
+                        buckets[cu].append(u)
+    return core
+
+
+def csr_k_core_alive(graph: CSRGraph, k: int) -> bytearray:
+    """Return a byte mask of the maximal k-core (1 = survives the peel).
+
+    When the snapshot's coreness cache is warm this is an O(n) filter
+    (``coreness >= k``); otherwise a direct flat-array peel runs, which is
+    cheaper than a full decomposition for a single k.
+    """
+    n = graph.num_vertices()
+    if k <= 0:
+        return bytearray(b"\x01") * n
+    if graph._coreness is not None:
+        return bytearray(c >= k for c in graph._coreness)
+    slices = graph.adjacency_slices()
+    deg = list(graph.degree_list())
+    threshold = k - 1
+    queue = deque(v for v in range(n) if deg[v] < k)
+    for v in queue:
+        deg[v] = -1
+    popleft = queue.popleft
+    append = queue.append
+    while queue:
+        v = popleft()
+        for u in slices[v]:
+            du = deg[u]
+            if du >= 0:
+                du -= 1
+                deg[u] = du
+                if du == threshold:
+                    deg[u] = -1
+                    append(u)
+    return bytearray(d >= 0 for d in deg)
+
+
+# ----------------------------------------------------------------------
+# BFS kernels (Algorithm 5 substrate)
+# ----------------------------------------------------------------------
+def csr_bfs_distances(
+    graph: _FlatAdjacency,
+    source: int,
+    dead: Optional[Set[int]] = None,
+    max_depth: Optional[int] = None,
+) -> List[int]:
+    """Return hop distances per id from ``source`` (:data:`UNREACHED` = -1).
+
+    Level-synchronous frontier expansion: each level's candidate set is
+    built with C-speed ``set.update`` / set difference instead of a
+    per-edge Python membership test.  ``dead`` restricts the traversal to
+    the surviving induced subgraph (dead ids keep distance -1); the caller
+    must pass a live ``source``.
+    """
+    n = graph.num_vertices()
+    dist = [UNREACHED] * n
+    if n == 0:
+        return dist
+    slices = graph.adjacency_slices()
+    dist[source] = 0
+    visited = {source}
+    frontier = [source]
+    depth = 0
+    while frontier:
+        if max_depth is not None and depth >= max_depth:
+            break
+        depth += 1
+        reached: Set[int] = set()
+        update = reached.update
+        for u in frontier:
+            update(slices[u])
+        reached -= visited
+        if dead is not None:
+            reached -= dead
+        if not reached:
+            break
+        visited |= reached
+        for w in reached:
+            dist[w] = depth
+        frontier = list(reached)
+    return dist
+
+
+def csr_multi_source_bfs(
+    graph: _FlatAdjacency,
+    seeds: Iterable[Tuple[int, int]],
+    dead: Optional[Set[int]] = None,
+    restrict_to: Optional[Set[int]] = None,
+) -> List[int]:
+    """Generalized BFS where each seed id starts at its own level.
+
+    Mirrors :func:`repro.graph.traversal.multi_source_bfs` on int ids: seeds
+    keep their given levels (the minimum wins on duplicates), and when
+    ``restrict_to`` is given only those ids — plus the seeds themselves —
+    may be assigned distances.  Returns a per-id distance list with
+    :data:`UNREACHED` for ids never relaxed.
+    """
+    n = graph.num_vertices()
+    dist = [UNREACHED] * n
+    if n == 0:
+        return dist
+    slices = graph.adjacency_slices()
+    buckets: Dict[int, List[int]] = {}
+    seed_ids: Set[int] = set()
+    for vid, d in seeds:
+        if d < 0:
+            raise ValueError(f"seed distance for id {vid} must be >= 0, got {d}")
+        if dead is not None and vid in dead:
+            continue
+        seed_ids.add(vid)
+        if dist[vid] < 0 or d < dist[vid]:
+            dist[vid] = d
+            buckets.setdefault(d, []).append(vid)
+    if not buckets:
+        return dist
+    level = min(buckets)
+    max_level = max(buckets)
+    while level <= max_level or level in buckets:
+        frontier = buckets.pop(level, [])
+        next_level = level + 1
+        for u in frontier:
+            if dist[u] != level:
+                continue
+            for w in slices[u]:
+                if dead is not None and w in dead:
+                    continue
+                if restrict_to is not None and w not in restrict_to and w not in seed_ids:
+                    continue
+                if dist[w] < 0 or next_level < dist[w]:
+                    dist[w] = next_level
+                    buckets.setdefault(next_level, []).append(w)
+                    if next_level > max_level:
+                        max_level = next_level
+        level += 1
+    return dist

@@ -54,7 +54,7 @@ class LabeledGraph:
     True
     """
 
-    __slots__ = ("_adj", "_labels", "_num_edges")
+    __slots__ = ("_adj", "_labels", "_label_index", "_num_edges", "_version", "_frozen", "_frozen_version")
 
     def __init__(
         self,
@@ -63,7 +63,14 @@ class LabeledGraph:
     ) -> None:
         self._adj: Dict[Vertex, Set[Vertex]] = {}
         self._labels: Dict[Vertex, Label] = {}
+        # label -> set of vertices carrying it, maintained on every mutation
+        # so per-label queries need not scan all vertices.
+        self._label_index: Dict[Label, Set[Vertex]] = {}
         self._num_edges: int = 0
+        # Mutation counter used to invalidate the cached CSR snapshot.
+        self._version: int = 0
+        self._frozen = None
+        self._frozen_version: int = -1
         if edges is not None:
             for u, v in edges:
                 self.add_edge(u, v)
@@ -72,7 +79,7 @@ class LabeledGraph:
                 if vertex not in self._adj:
                     self.add_vertex(vertex, label=label)
                 else:
-                    self._labels[vertex] = label
+                    self.set_label(vertex, label)
 
     # ------------------------------------------------------------------
     # construction / mutation
@@ -82,8 +89,21 @@ class LabeledGraph:
         if vertex not in self._adj:
             self._adj[vertex] = set()
             self._labels[vertex] = label
-        elif label is not None:
+            self._label_index.setdefault(label, set()).add(vertex)
+            self._version += 1
+        elif label is not None and self._labels[vertex] != label:
+            self._move_label(vertex, self._labels[vertex], label)
             self._labels[vertex] = label
+            self._version += 1
+
+    def _move_label(self, vertex: Vertex, old_label: Label, new_label: Label) -> None:
+        """Move ``vertex`` between label-index buckets."""
+        bucket = self._label_index.get(old_label)
+        if bucket is not None:
+            bucket.discard(vertex)
+            if not bucket:
+                del self._label_index[old_label]
+        self._label_index.setdefault(new_label, set()).add(vertex)
 
     def add_edge(self, u: Vertex, v: Vertex) -> None:
         """Add the undirected edge ``(u, v)``.
@@ -101,6 +121,7 @@ class LabeledGraph:
             self._adj[u].add(v)
             self._adj[v].add(u)
             self._num_edges += 1
+            self._version += 1
 
     def remove_edge(self, u: Vertex, v: Vertex) -> None:
         """Remove the edge ``(u, v)``; raise :class:`EdgeNotFoundError` if absent."""
@@ -109,6 +130,7 @@ class LabeledGraph:
         self._adj[u].discard(v)
         self._adj[v].discard(u)
         self._num_edges -= 1
+        self._version += 1
 
     def remove_vertex(self, vertex: Vertex) -> None:
         """Remove ``vertex`` and all incident edges."""
@@ -118,7 +140,13 @@ class LabeledGraph:
             self._adj[neighbor].discard(vertex)
         self._num_edges -= len(self._adj[vertex])
         del self._adj[vertex]
+        bucket = self._label_index.get(self._labels[vertex])
+        if bucket is not None:
+            bucket.discard(vertex)
+            if not bucket:
+                del self._label_index[self._labels[vertex]]
         del self._labels[vertex]
+        self._version += 1
 
     def remove_vertices(self, vertices: Iterable[Vertex]) -> None:
         """Remove every vertex in ``vertices`` that is present in the graph."""
@@ -130,7 +158,10 @@ class LabeledGraph:
         """Assign ``label`` to an existing ``vertex``."""
         if vertex not in self._adj:
             raise VertexNotFoundError(vertex)
-        self._labels[vertex] = label
+        if self._labels[vertex] != label:
+            self._move_label(vertex, self._labels[vertex], label)
+            self._labels[vertex] = label
+            self._version += 1
 
     # ------------------------------------------------------------------
     # basic queries
@@ -203,22 +234,23 @@ class LabeledGraph:
 
     def labels(self) -> Set[Label]:
         """Return the set of distinct labels used by vertices in the graph."""
-        return set(self._labels.values())
+        return set(self._label_index)
 
     def label_map(self) -> Dict[Vertex, Label]:
         """Return a copy of the vertex-to-label mapping."""
         return dict(self._labels)
 
     def vertices_with_label(self, label: Label) -> Set[Vertex]:
-        """Return the set of vertices whose label equals ``label``."""
-        return {v for v, lab in self._labels.items() if lab == label}
+        """Return the set of vertices whose label equals ``label``.
+
+        Served from the maintained label index in O(group size) — no scan
+        over all vertices.  The returned set is a copy and safe to mutate.
+        """
+        return set(self._label_index.get(label, ()))
 
     def label_counts(self) -> Dict[Label, int]:
         """Return a histogram mapping each label to its number of vertices."""
-        counts: Dict[Label, int] = {}
-        for lab in self._labels.values():
-            counts[lab] = counts.get(lab, 0) + 1
-        return counts
+        return {lab: len(bucket) for lab, bucket in self._label_index.items()}
 
     def is_cross_edge(self, u: Vertex, v: Vertex) -> bool:
         """Return ``True`` if ``(u, v)`` is a heterogeneous (cross-label) edge."""
@@ -256,8 +288,29 @@ class LabeledGraph:
         clone = LabeledGraph()
         clone._labels = dict(self._labels)
         clone._adj = {v: set(nbrs) for v, nbrs in self._adj.items()}
+        clone._label_index = {
+            lab: set(bucket) for lab, bucket in self._label_index.items()
+        }
         clone._num_edges = self._num_edges
         return clone
+
+    def freeze(self):
+        """Return a cached CSR snapshot of this graph (see :mod:`repro.graph.csr`).
+
+        The snapshot is rebuilt lazily after any mutation (tracked through an
+        internal version counter), so repeated fast-path kernel calls on an
+        unmutated graph pay the freeze cost once.
+        """
+        from repro.graph.csr import CSRGraph  # deferred: csr imports this module
+
+        if self._frozen is None or self._frozen_version != self._version:
+            self._frozen = CSRGraph.freeze(self)
+            self._frozen_version = self._version
+        return self._frozen
+
+    def has_frozen(self) -> bool:
+        """Return ``True`` when a current (non-stale) CSR snapshot is cached."""
+        return self._frozen is not None and self._frozen_version == self._version
 
     def induced_subgraph(self, vertices: Iterable[Vertex]) -> "LabeledGraph":
         """Return the subgraph induced by ``vertices`` (labels preserved)."""

@@ -24,6 +24,7 @@ def bfs_distances(
     graph: LabeledGraph,
     source: Vertex,
     max_depth: Optional[int] = None,
+    backend: str = "auto",
 ) -> Dict[Vertex, int]:
     """Return hop distances from ``source`` to every reachable vertex.
 
@@ -36,6 +37,11 @@ def bfs_distances(
     max_depth:
         If given, the traversal stops after this many hops; vertices farther
         away are omitted from the result.
+    backend:
+        ``"object"`` walks the adjacency sets; ``"csr"`` runs the flat-array
+        kernel on the graph's CSR snapshot; ``"auto"`` uses CSR only when a
+        current snapshot is already cached (a one-shot BFS does not recover
+        the freeze cost).  All backends return identical distances.
 
     Returns
     -------
@@ -44,6 +50,15 @@ def bfs_distances(
     """
     if source not in graph:
         raise VertexNotFoundError(source)
+    if backend not in ("auto", "object", "csr"):
+        raise ValueError(f"unknown backend {backend!r}")
+    if backend == "csr" or (backend == "auto" and graph.has_frozen()):
+        from repro.graph.csr import csr_bfs_distances  # deferred: csr imports us
+
+        frozen = graph.freeze()
+        dist = csr_bfs_distances(frozen, frozen.id_of(source), max_depth=max_depth)
+        vertex_of = frozen.vertex_of
+        return {vertex_of(i): d for i, d in enumerate(dist) if d >= 0}
     distances: Dict[Vertex, int] = {source: 0}
     queue = deque([source])
     while queue:
@@ -62,6 +77,7 @@ def multi_source_bfs(
     graph: LabeledGraph,
     seeds: Dict[Vertex, int],
     restrict_to: Optional[Set[Vertex]] = None,
+    backend: str = "auto",
 ) -> Dict[Vertex, int]:
     """Multi-source BFS where each seed starts at its own non-negative level.
 
@@ -79,6 +95,9 @@ def multi_source_bfs(
     restrict_to:
         If provided, only vertices in this set (plus the seeds) may be
         assigned distances.
+    backend:
+        As in :func:`bfs_distances`: ``"auto"`` uses the CSR kernel only
+        when the graph already holds a current snapshot.
 
     Returns
     -------
@@ -86,6 +105,32 @@ def multi_source_bfs(
         Mapping of vertex to distance for all vertices reached, seeds
         included.
     """
+    if backend not in ("auto", "object", "csr"):
+        raise ValueError(f"unknown backend {backend!r}")
+    if backend == "csr" or (backend == "auto" and graph.has_frozen()):
+        from repro.graph.csr import csr_multi_source_bfs  # deferred import
+
+        frozen = graph.freeze()
+        id_seeds = []
+        for vertex, dist in seeds.items():
+            vid = frozen.try_id_of(vertex)
+            if vid is None:
+                continue
+            if dist < 0:
+                raise ValueError(
+                    f"seed distance for {vertex!r} must be >= 0, got {dist}"
+                )
+            id_seeds.append((vid, dist))
+        restrict_ids = None
+        if restrict_to is not None:
+            restrict_ids = {
+                vid
+                for v in restrict_to
+                if (vid := frozen.try_id_of(v)) is not None
+            }
+        dist_list = csr_multi_source_bfs(frozen, id_seeds, restrict_to=restrict_ids)
+        vertex_of = frozen.vertex_of
+        return {vertex_of(i): d for i, d in enumerate(dist_list) if d >= 0}
     buckets: Dict[int, List[Vertex]] = {}
     distances: Dict[Vertex, int] = {}
     for vertex, dist in seeds.items():

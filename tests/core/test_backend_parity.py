@@ -1,0 +1,269 @@
+"""Randomized parity suite: CSR kernels ≡ object-graph kernels ≡ brute force.
+
+The CSR fast path (:mod:`repro.graph.csr`) must be an exact drop-in for the
+object-graph kernels — not approximately, but value-for-value.  This suite
+drives all three butterfly/k-core/BFS kernels over 220 random graphs
+(80 bipartite + 70 labeled + 70 traversal instances, plus edge cases) and
+asserts exact equality, including the brute-force O(n⁴) butterfly reference
+on the smaller instances, disconnected graphs, and single-label graphs
+where one bipartite side is empty.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core.butterfly import (
+    brute_force_butterfly_degrees,
+    butterfly_degrees,
+    butterfly_degrees_priority,
+    enumerate_butterflies,
+    max_butterfly_degree_per_side,
+)
+from repro.core.kcore import core_decomposition, k_core_vertices
+from repro.core.online_bcc import online_bcc_search
+from repro.core.query_distance import QueryDistanceTracker
+from repro.graph.bipartite import extract_label_bipartite
+from repro.graph.csr import (
+    CSRBipartiteView,
+    CSRGraph,
+    csr_bfs_distances,
+    csr_butterfly_degrees,
+    csr_butterfly_degrees_two_sided,
+    csr_core_decomposition,
+    csr_k_core_alive,
+    csr_multi_source_bfs,
+)
+from repro.graph.generators import (
+    planted_partition_graph,
+    random_bipartite_graph,
+    random_labeled_graph,
+)
+from repro.graph.traversal import bfs_distances, multi_source_bfs
+
+BUTTERFLY_SEEDS = range(80)
+KCORE_SEEDS = range(70)
+BFS_SEEDS = range(70)
+
+
+def _random_bipartite(seed: int):
+    rng = random.Random(seed)
+    n_left = rng.randint(1, 14)
+    n_right = rng.randint(1, 14)
+    graph = random_bipartite_graph(
+        [f"l{i}" for i in range(n_left)],
+        [f"r{i}" for i in range(n_right)],
+        rng.random(),
+        seed=seed,
+    )
+    return extract_label_bipartite(graph, "L", "R")
+
+
+def _random_graph(seed: int, labels=("A", "B", "C")):
+    rng = random.Random(10_000 + seed)
+    return random_labeled_graph(
+        rng.randint(0, 28), rng.random() * 0.5, list(labels), seed=seed
+    )
+
+
+def _chi_dict(frozen: CSRBipartiteView, chi):
+    return {frozen.vertex_of(i): c for i, c in enumerate(chi)}
+
+
+class TestButterflyParity:
+    @pytest.mark.parametrize("seed", BUTTERFLY_SEEDS)
+    def test_all_backends_agree(self, seed):
+        view = _random_bipartite(seed)
+        reference = butterfly_degrees(view, backend="object")
+        assert butterfly_degrees(view, backend="csr") == reference
+        assert butterfly_degrees_priority(view, backend="object") == reference
+        assert butterfly_degrees_priority(view, backend="csr") == reference
+        frozen = CSRBipartiteView.freeze(view)
+        assert _chi_dict(frozen, csr_butterfly_degrees(frozen)) == reference
+        assert _chi_dict(frozen, csr_butterfly_degrees_two_sided(frozen)) == reference
+        if view.num_vertices() <= 18:
+            assert brute_force_butterfly_degrees(view) == reference
+
+    def test_single_label_graph_has_empty_side(self):
+        graph = random_labeled_graph(12, 0.4, ["only"], seed=5)
+        view = extract_label_bipartite(graph, "only", "missing")
+        reference = butterfly_degrees(view, backend="object")
+        assert butterfly_degrees(view, backend="csr") == reference
+        assert all(chi == 0 for chi in reference.values())
+
+    def test_enumerate_butterflies_matches_brute_force(self):
+        view = _random_bipartite(3)
+        degrees = {v: 0 for v in view.vertices()}
+        for l1, l2, r1, r2 in enumerate_butterflies(view):
+            assert view.side(l1) == view.side(l2) == "left"
+            assert view.side(r1) == view.side(r2) == "right"
+            for vertex in (l1, l2, r1, r2):
+                degrees[vertex] += 1
+        assert degrees == butterfly_degrees(view, backend="object")
+
+    def test_empty_degree_map_is_authoritative(self):
+        view = _random_bipartite(7)
+        # An explicitly supplied empty map must not trigger a recount.
+        assert max_butterfly_degree_per_side(view, degrees={}) == (0, 0)
+        reference = butterfly_degrees(view)
+        assert max_butterfly_degree_per_side(view, degrees=reference) == \
+            max_butterfly_degree_per_side(view)
+
+
+class TestKCoreParity:
+    @pytest.mark.parametrize("seed", KCORE_SEEDS)
+    def test_coreness_and_cores_agree(self, seed):
+        graph = _random_graph(seed)
+        reference = core_decomposition(graph, backend="object")
+        assert core_decomposition(graph, backend="csr") == reference
+        frozen = CSRGraph.freeze(graph)
+        n = frozen.num_vertices()
+        assert {frozen.vertex_of(i): c for i, c in enumerate(csr_core_decomposition(frozen))} == reference
+        max_k = (max(reference.values()) if reference else 0) + 2
+        for k in range(0, max_k):
+            expected = k_core_vertices(graph, k, backend="object")
+            assert k_core_vertices(graph, k, backend="csr") == expected
+            alive = csr_k_core_alive(frozen, k)
+            assert {frozen.vertex_of(i) for i in range(n) if alive[i]} == expected
+        # Warm-coreness extraction (the O(n) filter) must agree too.
+        frozen.coreness()
+        for k in range(0, max_k):
+            alive = csr_k_core_alive(frozen, k)
+            assert {frozen.vertex_of(i) for i in range(n) if alive[i]} == \
+                k_core_vertices(graph, k, backend="object")
+
+    def test_disconnected_components(self):
+        graph = planted_partition_graph([8, 8, 8], 0.8, 0.0, seed=2)[0]
+        assert core_decomposition(graph, backend="csr") == \
+            core_decomposition(graph, backend="object")
+
+
+class TestBFSParity:
+    @pytest.mark.parametrize("seed", BFS_SEEDS)
+    def test_distances_agree(self, seed):
+        graph = _random_graph(seed, labels=("A", "B"))
+        vertices = list(graph.vertices())
+        if not vertices:
+            return
+        rng = random.Random(seed)
+        frozen = CSRGraph.freeze(graph)
+        n = frozen.num_vertices()
+        source = rng.choice(vertices)
+        for max_depth in (None, 0, 1, 3):
+            reference = bfs_distances(graph, source, max_depth=max_depth, backend="object")
+            assert bfs_distances(graph, source, max_depth=max_depth, backend="csr") == reference
+            dist = csr_bfs_distances(frozen, frozen.id_of(source), max_depth=max_depth)
+            assert {frozen.vertex_of(i): d for i, d in enumerate(dist) if d >= 0} == reference
+        seeds = {v: rng.randint(0, 3) for v in rng.sample(vertices, min(4, len(vertices)))}
+        reference = multi_source_bfs(graph, seeds, backend="object")
+        assert multi_source_bfs(graph, seeds, backend="csr") == reference
+        id_seeds = [(frozen.id_of(v), d) for v, d in seeds.items()]
+        dist = csr_multi_source_bfs(frozen, id_seeds)
+        assert {frozen.vertex_of(i): d for i, d in enumerate(dist) if d >= 0} == reference
+
+    def test_restricted_multi_source(self):
+        graph = _random_graph(11, labels=("A",))
+        vertices = list(graph.vertices())
+        if len(vertices) < 4:
+            pytest.skip("graph too small for a restriction test")
+        rng = random.Random(11)
+        seeds = {vertices[0]: 0, vertices[1]: 2}
+        restrict = set(rng.sample(vertices, len(vertices) // 2))
+        reference = multi_source_bfs(graph, seeds, restrict_to=restrict, backend="object")
+        assert multi_source_bfs(graph, seeds, restrict_to=restrict, backend="csr") == reference
+
+
+class TestTrackerParity:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_deletion_sequences(self, seed):
+        rng = random.Random(seed)
+        graph, communities = planted_partition_graph([14, 14], 0.4, 0.06, seed=seed)
+        mirror = graph.copy()
+        queries = [communities[0][0], communities[1][0]]
+        obj = QueryDistanceTracker(graph, queries, backend="object")
+        csr = QueryDistanceTracker(mirror, queries, backend="csr")
+        deletable = [v for v in graph.vertices() if v not in queries]
+        rng.shuffle(deletable)
+        for start in range(0, 15, 3):
+            batch = deletable[start : start + 3]
+            graph.remove_vertices(batch)
+            mirror.remove_vertices(batch)
+            obj.remove_vertices(batch)
+            csr.remove_vertices(batch)
+            assert obj.full_recomputations == csr.full_recomputations
+            assert obj.partial_updates == csr.partial_updates
+            assert obj.graph_query_distance() == csr.graph_query_distance()
+            assert obj.farthest_vertices() == csr.farthest_vertices()
+            for q in queries:
+                assert obj.distance_map(q) == csr.distance_map(q)
+
+    def test_deleting_query_vertex(self):
+        graph, communities = planted_partition_graph([10, 10], 0.5, 0.1, seed=3)
+        mirror = graph.copy()
+        queries = [communities[0][0], communities[1][0]]
+        obj = QueryDistanceTracker(graph, queries, backend="object")
+        csr = QueryDistanceTracker(mirror, queries, backend="csr")
+        graph.remove_vertex(queries[0])
+        mirror.remove_vertex(queries[0])
+        obj.remove_vertices([queries[0]])
+        csr.remove_vertices([queries[0]])
+        probe = communities[1][1]
+        assert math.isinf(obj.distance(probe, queries[0]))
+        assert math.isinf(csr.distance(probe, queries[0]))
+        assert obj.distance_map(queries[0]) == csr.distance_map(queries[0]) == {}
+
+
+class TestOnlineBCCFastPathParity:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("bulk", [True, False])
+    def test_fast_path_is_byte_identical(self, seed, bulk):
+        graph, communities = planted_partition_graph(
+            [12, 12], 0.55, 0.08, seed=seed, label_for_community=lambda i: "LR"[i]
+        )
+        q_left, q_right = communities[0][0], communities[1][0]
+        fast = online_bcc_search(
+            graph, q_left, q_right, bulk_deletion=bulk, use_fast_path=True
+        )
+        slow = online_bcc_search(
+            graph, q_left, q_right, bulk_deletion=bulk, use_fast_path=False
+        )
+        if fast is None or slow is None:
+            assert fast is None and slow is None
+            return
+        assert set(fast.community.vertices()) == set(slow.community.vertices())
+        assert fast.community == slow.community
+        assert fast.left_vertices == slow.left_vertices
+        assert fast.right_vertices == slow.right_vertices
+        assert fast.query_distance == slow.query_distance
+        assert fast.iterations == slow.iterations
+
+
+class TestLabelIndexConsistency:
+    """The maintained label index must always match a full scan."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_mutation_sequences(self, seed):
+        rng = random.Random(seed)
+        graph = _random_graph(seed)
+        labels = ["A", "B", "C", "D"]
+        for _ in range(60):
+            op = rng.random()
+            vertices = list(graph.vertices())
+            if op < 0.3 or not vertices:
+                graph.add_vertex(rng.randint(0, 40), label=rng.choice(labels))
+            elif op < 0.5:
+                graph.set_label(rng.choice(vertices), rng.choice(labels))
+            elif op < 0.7 and len(vertices) >= 2:
+                graph.add_edge(rng.choice(vertices), rng.choice(vertices))
+            else:
+                graph.remove_vertex(rng.choice(vertices))
+            scan = {}
+            for v in graph.vertices():
+                scan.setdefault(graph.label(v), set()).add(v)
+            assert graph.labels() == set(scan)
+            for label in list(scan) + ["unused"]:
+                assert graph.vertices_with_label(label) == scan.get(label, set())
+            assert graph.label_counts() == {lab: len(s) for lab, s in scan.items()}
