@@ -17,7 +17,7 @@ Run with:  python examples/academic_multilabel_case_study.py
 
 from __future__ import annotations
 
-from repro import lp_bcc_search, mbcc_search
+from repro import BCCEngine, Query, SearchConfig
 from repro.datasets import generate_academic_network
 from repro.eval import describe_community
 
@@ -40,21 +40,29 @@ def main() -> None:
     graph = bundle.graph
     print(f"Academic collaboration network: {graph} with fields {sorted(graph.labels())}")
 
+    # One engine serves both the 2-labeled BCC and the 3-labeled mBCC query.
+    engine = BCCEngine(graph).prepare()
+
     # Part 1: two-labeled BCC query (Database x Machine Learning).
     q1 = bundle.metadata["default_query"]
     print(f"\n2-labeled query Q1 = {q1}, b = 3, k1 = k2 = 3")
-    bcc = lp_bcc_search(graph, q1[0], q1[1], k1=3, k2=3, b=3)
-    show("ML4DB / DB4ML community (Figure 15a):", graph, bcc.vertices)
-    report = describe_community(bcc.community)
+    response = engine.search(
+        Query("lp-bcc", tuple(q1), config=SearchConfig(k1=3, k2=3, b=3))
+    ).raise_for_empty()
+    bcc = response.result
+    show("ML4DB / DB4ML community (Figure 15a):", graph, response.vertices)
+    report = describe_community(response.community)
     print(
         f"  |V|={report.num_vertices}, interdisciplinary butterflies="
         f"{report.total_butterflies}, leader pair={bcc.leader_pair}"
     )
 
-    # Part 2: three-labeled mBCC query.
+    # Part 2: three-labeled mBCC query, through the same front door.
     q2 = list(bundle.metadata["three_label_query"])
     print(f"\n3-labeled query Q2 = {q2}, b = 3, k_i = 3")
-    mbcc = mbcc_search(graph, q2, core_parameters=[3, 3, 3], b=3)
+    mbcc = engine.search(
+        Query("mbcc", tuple(q2), config=SearchConfig(core_parameters=(3, 3, 3), b=3))
+    ).raise_for_empty().result
     show("Cross-discipline community (Figure 15b):", graph, mbcc.vertices)
     print(f"  groups: {{ {', '.join(f'{k}: {len(v)}' for k, v in sorted(mbcc.groups.items()))} }}")
     print(f"  cross-group interaction edges: {mbcc.interaction_edges}")

@@ -14,7 +14,7 @@ Run with:  python examples/flight_case_study.py
 
 from __future__ import annotations
 
-from repro import ctc_search, lp_bcc_search
+from repro import BCCEngine, Query, SearchConfig
 from repro.datasets import generate_flight_network
 from repro.eval import community_core_levels, describe_community
 
@@ -35,7 +35,8 @@ def main() -> None:
     q_left, q_right = bundle.default_query()
     print(f"Query Q = {{{q_left}, {q_right}}}, b = 3, k1/k2 = coreness of the queries")
 
-    bcc = lp_bcc_search(graph, q_left, q_right, b=3)
+    engine = BCCEngine(graph, SearchConfig(b=3)).prepare()
+    bcc = engine.search(Query("lp-bcc", (q_left, q_right))).raise_for_empty()
     show("Butterfly-Core Community (ours):", graph, bcc.vertices)
     report = describe_community(bcc.community)
     levels = community_core_levels(bcc.community)
@@ -46,7 +47,7 @@ def main() -> None:
     hubs = [v for v in ("Toronto", "Vancouver", "Frankfurt", "Munich") if v in bcc.vertices]
     print(f"  transatlantic hub butterfly members found: {', '.join(hubs)}")
 
-    ctc = ctc_search(graph, [q_left, q_right])
+    ctc = engine.search(Query("ctc", (q_left, q_right))).raise_for_empty()
     show("CTC baseline (label-agnostic closest truss):", graph, ctc.vertices)
     german = [v for v in ctc.vertices if graph.label(v) == "Germany"]
     print(

@@ -15,7 +15,7 @@ Run with:  python examples/trade_and_fiction_case_studies.py
 
 from __future__ import annotations
 
-from repro import ctc_search, lp_bcc_search
+from repro import BCCEngine, Query, SearchConfig
 from repro.datasets import generate_fiction_network, generate_trade_network
 from repro.eval import describe_community
 
@@ -37,12 +37,15 @@ def trade_case_study() -> None:
     q_left, q_right = bundle.default_query()
     print(f"Query Q = {{{q_left}, {q_right}}}, b = 3")
 
-    bcc = lp_bcc_search(graph, q_left, q_right, b=3)
+    engine = BCCEngine(graph).prepare()
+    bcc = engine.search(
+        Query("lp-bcc", (q_left, q_right), config=SearchConfig(b=3))
+    ).raise_for_empty()
     show("Butterfly-Core Community (ours):", graph, bcc.vertices)
     report = describe_community(bcc.community)
     print(f"  transcontinental butterflies: {report.total_butterflies}, diameter: {report.diameter}")
 
-    ctc = ctc_search(graph, [q_left, q_right])
+    ctc = engine.search(Query("ctc", (q_left, q_right))).raise_for_empty()
     show("CTC baseline:", graph, ctc.vertices)
     asian_partners = [v for v in ctc.vertices if graph.label(v) == "Asia"]
     print(f"  Asian partners found by CTC: {asian_partners or 'only China'} "
@@ -57,13 +60,16 @@ def fiction_case_study() -> None:
     q_left, q_right = bundle.default_query()
     print(f"Query Q = {{{q_left}, {q_right}}}, b = 1")
 
-    bcc = lp_bcc_search(graph, q_left, q_right, b=1)
+    engine = BCCEngine(graph).prepare()
+    bcc = engine.search(
+        Query("lp-bcc", (q_left, q_right), config=SearchConfig(b=1))
+    ).raise_for_empty()
     show("Butterfly-Core Community (ours):", graph, bcc.vertices)
     weasleys = [v for v in bcc.vertices if "Weasley" in str(v)]
     print(f"  Ron's family members recovered: {', '.join(sorted(weasleys))}")
     print(f"  evil-camp leader present: {'Lord Voldemort' in bcc.vertices}")
 
-    ctc = ctc_search(graph, [q_left, q_right])
+    ctc = engine.search(Query("ctc", (q_left, q_right))).raise_for_empty()
     show("CTC baseline:", graph, ctc.vertices)
     print(
         f"  CTC finds {sum(1 for v in ctc.vertices if 'Weasley' in str(v))} Weasleys "

@@ -9,12 +9,15 @@ figure of the evaluation section.
 
 Quickstart
 ----------
->>> from repro import datasets, lp_bcc_search
+>>> from repro import BCCEngine, Query, datasets
 >>> bundle = datasets.generate_baidu_network(seed=1)
->>> q_left, q_right = bundle.default_query()
->>> result = lp_bcc_search(bundle.graph, q_left, q_right, b=1)
->>> result is not None
+>>> engine = BCCEngine(bundle.graph).prepare()
+>>> response = engine.search(Query("lp-bcc", bundle.default_query()))
+>>> response.found
 True
+
+The one-shot free functions (``lp_bcc_search`` & co.) remain available and
+delegate to the same engine path.
 """
 
 from repro.baselines import ctc_search, psa_search
@@ -39,11 +42,29 @@ from repro.graph import (
     compute_statistics,
     extract_bipartite,
 )
+from repro.api import (
+    BCCEngine,
+    BatchQuery,
+    Query,
+    SearchConfig,
+    SearchResponse,
+    get_method,
+    method_names,
+    register_method,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "BCCEngine",
     "BCIndex",
+    "BatchQuery",
+    "Query",
+    "SearchConfig",
+    "SearchResponse",
+    "get_method",
+    "method_names",
+    "register_method",
     "BCCParameters",
     "BCCResult",
     "BipartiteView",

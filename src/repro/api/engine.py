@@ -1,0 +1,375 @@
+"""The prepared, query-serving engine — the library's single front door.
+
+``BCCEngine`` binds a labeled graph to a :class:`SearchConfig` and serves
+queries through the method registry.  Unlike the legacy one-shot functions it
+*prepares once and serves many*:
+
+* :meth:`prepare` freezes the graph's CSR snapshot (version-cached, so every
+  fast-path kernel on the unmutated graph reuses it);
+* :meth:`group` caches the label-induced subgraphs that Algorithm 2 rebuilds
+  per query on the one-shot path — each group (and the warm CSR snapshot its
+  own kernels freeze) is built once per engine;
+* :meth:`ensure_index` lazily builds one reusable BCindex for the
+  index-based methods, timing the build separately from query time.
+
+``counters`` records how often each preparation step actually ran, so tests
+(and operators) can assert the amortization: a ``search_many`` batch over an
+unmutated graph performs the CSR freeze and the BCindex build at most once.
+
+The engine answers "no community" with a ``SearchResponse`` of
+``status="empty"`` and a machine-readable ``reason`` — malformed queries
+still raise (:class:`repro.exceptions.QueryError` and friends).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.api.config import SearchConfig
+from repro.api.query import (
+    STATUS_EMPTY,
+    STATUS_OK,
+    BatchQuery,
+    Query,
+    SearchResponse,
+)
+from repro.api.registry import MethodSpec, get_method
+from repro.core.bc_index import BCIndex
+from repro.core.bcc_model import BCCParameters, resolve_query_labels
+from repro.core.multilabel import resolve_mbcc_parameters, validate_mbcc_query
+from repro.eval.instrumentation import SearchInstrumentation
+from repro.exceptions import EmptyCommunityError
+from repro.graph.labeled_graph import Label, LabeledGraph
+
+
+class BCCEngine:
+    """A long-lived search engine over one labeled graph.
+
+    Parameters
+    ----------
+    graph:
+        The graph to serve, or any object exposing it as ``.graph`` (e.g. a
+        :class:`repro.datasets.base.DatasetBundle`).
+    config:
+        Base :class:`SearchConfig`; per-query overrides ride on the query or
+        the ``search(..., config=...)`` call.
+    index:
+        Optional pre-built :class:`BCIndex` to reuse; when omitted one is
+        built lazily the first time an index-based method runs.
+
+    The engine assumes a *serving* graph: searches never mutate it, and the
+    caches stay warm across queries.  If the graph is mutated anyway, the
+    engine detects the version change and transparently rebuilds its caches.
+    """
+
+    def __init__(
+        self,
+        graph: Union[LabeledGraph, object],
+        config: Optional[SearchConfig] = None,
+        index: Optional[BCIndex] = None,
+    ) -> None:
+        if not isinstance(graph, LabeledGraph):
+            graph = getattr(graph, "graph", graph)
+        if not isinstance(graph, LabeledGraph):
+            raise TypeError(f"expected a LabeledGraph or bundle, got {type(graph)!r}")
+        self.graph: LabeledGraph = graph
+        self.config: SearchConfig = config if config is not None else SearchConfig()
+        self._index: Optional[BCIndex] = index
+        self._groups: Dict[Label, LabeledGraph] = {}
+        self._graph_version: int = graph.version()
+        self._prepared: bool = False
+        self._index_build_seconds: float = 0.0
+        self.counters: Dict[str, int] = {
+            "prepare_calls": 0,
+            "csr_freezes": 0,
+            "index_builds": 0,
+            "group_builds": 0,
+            "searches": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # prepared state
+    # ------------------------------------------------------------------
+    def _check_version(self) -> None:
+        """Invalidate every cache when the underlying graph was mutated."""
+        version = self.graph.version()
+        if version != self._graph_version:
+            self._graph_version = version
+            self._groups.clear()
+            self._index = None
+            self._prepared = False
+
+    def prepare(self) -> "BCCEngine":
+        """Freeze the graph's CSR snapshot so every query serves warm.
+
+        Idempotent on an unmutated graph: the freeze is performed (and
+        counted) only when no current snapshot exists.  Returns ``self`` so
+        ``BCCEngine(graph).prepare()`` chains.
+        """
+        self._check_version()
+        self.counters["prepare_calls"] += 1
+        if not self.graph.has_frozen():
+            self.graph.freeze()
+            self.counters["csr_freezes"] += 1
+        self._prepared = True
+        return self
+
+    def is_prepared(self) -> bool:
+        """Return ``True`` once :meth:`prepare` ran for the current graph."""
+        self._check_version()
+        return self._prepared
+
+    def group(self, label: Label) -> LabeledGraph:
+        """Return the (cached) subgraph induced by ``label``'s vertices.
+
+        Algorithm 2 and the automatic parameter setting both consume
+        label-induced subgraphs; caching them per engine means a batch of
+        queries builds each group once instead of twice per query.
+        """
+        self._check_version()
+        subgraph = self._groups.get(label)
+        if subgraph is None:
+            subgraph = self.graph.label_induced_subgraph(label)
+            self._groups[label] = subgraph
+            self.counters["group_builds"] += 1
+        return subgraph
+
+    def ensure_index(self) -> BCIndex:
+        """Return the engine's BCindex, building it once on first use.
+
+        Build time is accumulated separately so :meth:`search` can report
+        ``index_build_seconds`` apart from ``query_seconds``.
+        """
+        self._check_version()
+        if self._index is None:
+            self._index = BCIndex(
+                self.graph,
+                build=False,
+                backend=self.config.backend,
+                groups=self.group,
+            )
+        if not self._index.is_built():
+            start = time.perf_counter()
+            self._index.build()
+            self._index_build_seconds += time.perf_counter() - start
+            self.counters["index_builds"] += 1
+        return self._index
+
+    @property
+    def index(self) -> BCIndex:
+        """The engine's BCindex (built on first access)."""
+        return self.ensure_index()
+
+    def has_index(self) -> bool:
+        """Return ``True`` when a current, built BCindex is attached."""
+        self._check_version()
+        return self._index is not None and self._index.is_built()
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    def _resolve_config(
+        self, query: Query, override: Optional[SearchConfig]
+    ) -> SearchConfig:
+        """Per-call precedence: call override > query override > engine base."""
+        if override is not None:
+            return override
+        if query.config is not None:
+            return query.config
+        return self.config
+
+    def search(
+        self,
+        query: Query,
+        *,
+        config: Optional[SearchConfig] = None,
+        instrumentation: Optional[SearchInstrumentation] = None,
+    ) -> SearchResponse:
+        """Serve one query and return a uniform :class:`SearchResponse`.
+
+        "No community" is a normal answer (``status="empty"`` with a
+        machine-readable ``reason``); malformed queries raise.
+        """
+        self._check_version()
+        spec = get_method(query.method)
+        cfg = self._resolve_config(query, config)
+        inst = (
+            instrumentation
+            if instrumentation is not None
+            else SearchInstrumentation()
+        )
+        index_seconds_before = self._index_build_seconds
+        start = time.perf_counter()
+        reason: Optional[str] = None
+        try:
+            result = spec.runner(self, query, cfg, inst)
+            status = STATUS_OK
+        except EmptyCommunityError as exc:
+            result = None
+            status = STATUS_EMPTY
+            reason = exc.reason
+        elapsed = time.perf_counter() - start
+        # Counted only for queries that produce a response; malformed
+        # queries raise above and are not "served" searches.
+        self.counters["searches"] += 1
+        index_seconds = self._index_build_seconds - index_seconds_before
+        vertices = set(result.vertices) if result is not None else set()
+        return SearchResponse(
+            method=spec.name,
+            query=query.vertices,
+            status=status,
+            result=result,
+            reason=reason,
+            vertices=vertices,
+            timings={
+                "total_seconds": elapsed,
+                "index_build_seconds": index_seconds,
+                "query_seconds": elapsed - index_seconds,
+            },
+            instrumentation=inst,
+        )
+
+    def search_many(
+        self,
+        queries: Union[BatchQuery, Iterable[Query]],
+        *,
+        config: Optional[SearchConfig] = None,
+        instrumentation: Optional[SearchInstrumentation] = None,
+    ) -> List[SearchResponse]:
+        """Serve a batch of queries over one warm snapshot.
+
+        The engine prepares once (CSR freeze; label groups and the BCindex
+        fill lazily and are reused), then answers the queries in order.
+        Responses are position-aligned with the input and each query equals
+        its sequential :meth:`search` answer exactly.
+
+        Config precedence per query: the ``config`` argument of this call,
+        then the query's own config, then the batch's shared config, then
+        the engine base.
+
+        A caller-supplied ``instrumentation`` is shared by the whole batch
+        and therefore aggregates counters across every query; leave it
+        ``None`` to give each response its own per-search counters.
+
+        Malformed queries raise exactly as :meth:`search` does, aborting the
+        batch at the offending query (validate inputs first — or pre-flight
+        with :meth:`explain` — when partial results matter).
+        """
+        batch_config: Optional[SearchConfig] = None
+        if isinstance(queries, BatchQuery):
+            batch_config = queries.config
+        items = list(queries)
+        if items and not self.is_prepared():
+            self.prepare()
+        responses: List[SearchResponse] = []
+        for query in items:
+            effective = config
+            if effective is None and query.config is None:
+                effective = batch_config
+            responses.append(
+                self.search(query, config=effective, instrumentation=instrumentation)
+            )
+        return responses
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def explain(
+        self, query: Query, *, config: Optional[SearchConfig] = None
+    ) -> Dict[str, object]:
+        """Describe how the engine would serve ``query`` without running it.
+
+        Returns a plain dictionary: the resolved method spec, the effective
+        parameters (including the coreness-based k defaults of Section 3.5),
+        and the engine's prepared state.  Malformed queries raise exactly as
+        :meth:`search` would.
+        """
+        self._check_version()
+        spec = get_method(query.method)
+        cfg = self._resolve_config(query, config)
+        info: Dict[str, object] = {
+            "method": {
+                "name": spec.name,
+                "display": spec.display,
+                "kind": spec.kind,
+                "needs_index": spec.needs_index,
+                "description": spec.description,
+            },
+            "query": tuple(query.vertices),
+            "engine": {
+                "prepared": self._prepared,
+                "csr_frozen": self.graph.has_frozen(),
+                "index_built": self.has_index(),
+                "cached_groups": sorted(str(label) for label in self._groups),
+                "counters": dict(self.counters),
+            },
+        }
+        info["resolved"] = self._resolve_parameters(spec, query, cfg)
+        return info
+
+    def _resolve_parameters(
+        self, spec: MethodSpec, query: Query, cfg: SearchConfig
+    ) -> Dict[str, object]:
+        """The parameter block of :meth:`explain`, per method kind."""
+        self.graph.require_vertices(query.vertices)
+        resolved: Dict[str, object] = {"b": cfg.b}
+        if spec.kind == "bcc":
+            q_left, q_right = query.as_pair()
+            left_label, right_label = resolve_query_labels(
+                self.graph, q_left, q_right
+            )
+            resolved["left_label"] = left_label
+            resolved["right_label"] = right_label
+            if spec.resolves_k_locally and (
+                cfg.effective_k1() is None or cfg.effective_k2() is None
+            ):
+                # E.g. Algorithm 8 resolves unset k inside the local
+                # candidate graph, which only exists at search time.
+                resolved["k1"] = cfg.effective_k1()
+                resolved["k2"] = cfg.effective_k2()
+                resolved["note"] = "unset k resolved in the candidate graph"
+            else:
+                parameters = BCCParameters.from_query(
+                    self.graph,
+                    q_left,
+                    q_right,
+                    k1=cfg.effective_k1(),
+                    k2=cfg.effective_k2(),
+                    b=cfg.b,
+                    groups=self.group,
+                )
+                resolved["k1"] = parameters.k1
+                resolved["k2"] = parameters.k2
+        elif spec.kind == "multilabel":
+            # Same validation and parameter resolution as run_mbcc, so
+            # explain() raises (and reports) exactly as search() would.
+            validate_mbcc_query(self.graph, query.vertices)
+            resolved["core_parameters"] = resolve_mbcc_parameters(
+                self.graph,
+                query.vertices,
+                cfg.core_parameters,
+                groups=self.group,
+            )
+        else:  # baselines resolve k at search time from the query's structure
+            resolved["k"] = cfg.k
+            if spec.name == "ctc":
+                resolved["note"] = (
+                    "k defaults to the maximum trussness containing the query"
+                )
+            elif spec.name == "psa":
+                resolved["note"] = (
+                    "k defaults to the minimum query-vertex coreness"
+                )
+            elif spec.description:
+                # Custom baselines describe their own parameter semantics.
+                resolved["note"] = spec.description
+        return resolved
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BCCEngine(|V|={self.graph.num_vertices()}, "
+            f"|E|={self.graph.num_edges()}, prepared={self._prepared}, "
+            f"index={'built' if self.has_index() else 'lazy'}, "
+            f"searches={self.counters['searches']})"
+        )

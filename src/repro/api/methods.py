@@ -1,0 +1,168 @@
+"""Built-in method registrations: the paper's five methods plus mBCC.
+
+Each adapter binds a core implementation (``run_*``) to the uniform registry
+signature ``(engine, query, config, instrumentation)``, translating
+:class:`repro.api.config.SearchConfig` fields into the algorithm's native
+parameters and threading the engine's prepared state (cached label-group
+subgraphs, the lazily built BCindex) into the call.
+
+Registration order is the paper's figure order — it defines
+``repro.eval.harness.METHOD_NAMES``.
+"""
+
+from __future__ import annotations
+
+from repro.api.registry import register_method
+from repro.baselines.ctc import run_ctc
+from repro.baselines.psa import run_psa
+from repro.core.local_search import run_l2p_bcc
+from repro.core.lp_bcc import run_lp_bcc
+from repro.core.multilabel import run_mbcc
+from repro.core.online_bcc import run_online_bcc
+
+
+@register_method(
+    "psa",
+    display="PSA",
+    kind="baseline",
+    missing_vertex_is_empty=True,
+    description="progressive minimum k-core search (label-agnostic baseline)",
+)
+def _run_psa(engine, query, config, instrumentation):
+    return run_psa(
+        engine.graph,
+        list(query.vertices),
+        k=config.k,
+        size_budget=config.size_budget,
+        shrink_rounds=config.shrink_rounds,
+        instrumentation=instrumentation,
+    )
+
+
+@register_method(
+    "ctc",
+    display="CTC",
+    kind="baseline",
+    symmetric_k=False,
+    missing_vertex_is_empty=True,
+    description="closest truss community search (label-agnostic baseline)",
+)
+def _run_ctc(engine, query, config, instrumentation):
+    # config.k pins the trussness; unset means the maximum trussness
+    # containing the query.  The harness's symmetric-k sweeps of Fig. 8
+    # deliberately skip CTC (symmetric_k=False), as in the paper.
+    return run_ctc(
+        engine.graph,
+        list(query.vertices),
+        k=config.k,
+        bulk_deletion=config.bulk_deletion,
+        max_iterations=config.max_iterations,
+        instrumentation=instrumentation,
+    )
+
+
+@register_method(
+    "online-bcc",
+    display="Online-BCC",
+    kind="bcc",
+    aliases=("online",),
+    multilabel_method="mbcc",
+    description="greedy 2-approximation search (Algorithm 1)",
+)
+def _run_online_bcc(engine, query, config, instrumentation):
+    q_left, q_right = query.as_pair()
+    return run_online_bcc(
+        engine.graph,
+        q_left,
+        q_right,
+        k1=config.effective_k1(),
+        k2=config.effective_k2(),
+        b=config.b,
+        bulk_deletion=config.bulk_deletion,
+        max_iterations=config.max_iterations,
+        instrumentation=instrumentation,
+        use_fast_path=config.fast_path,
+        backend=config.backend,
+        groups=engine.group,
+    )
+
+
+@register_method(
+    "lp-bcc",
+    display="LP-BCC",
+    kind="bcc",
+    aliases=("lp",),
+    multilabel_method="mbcc",
+    description="Online-BCC with fast distances and leader-pair maintenance "
+    "(Algorithms 5-7)",
+)
+def _run_lp_bcc(engine, query, config, instrumentation):
+    q_left, q_right = query.as_pair()
+    return run_lp_bcc(
+        engine.graph,
+        q_left,
+        q_right,
+        k1=config.effective_k1(),
+        k2=config.effective_k2(),
+        b=config.b,
+        bulk_deletion=config.bulk_deletion,
+        rho=config.rho,
+        max_iterations=config.max_iterations,
+        instrumentation=instrumentation,
+        backend=config.backend,
+        groups=engine.group,
+    )
+
+
+@register_method(
+    "l2p-bcc",
+    display="L2P-BCC",
+    kind="bcc",
+    aliases=("l2p",),
+    needs_index=True,
+    resolves_k_locally=True,
+    multilabel_method="mbcc",
+    description="index-based local search (Algorithm 8, BCindex-backed)",
+)
+def _run_l2p_bcc(engine, query, config, instrumentation):
+    q_left, q_right = query.as_pair()
+    return run_l2p_bcc(
+        engine.graph,
+        q_left,
+        q_right,
+        k1=config.effective_k1(),
+        k2=config.effective_k2(),
+        b=config.b,
+        index=engine.ensure_index(),
+        eta=config.eta,
+        path_config=config.path_config,
+        rho=config.rho,
+        max_iterations=config.max_iterations,
+        instrumentation=instrumentation,
+        backend=config.backend,
+        groups=engine.group,
+    )
+
+
+@register_method(
+    "mbcc",
+    display="mBCC",
+    kind="multilabel",
+    aliases=("multi-bcc",),
+    description="multi-labeled BCC search over m label groups (Algorithm 9)",
+)
+def _run_mbcc(engine, query, config, instrumentation):
+    core_parameters = (
+        None if config.core_parameters is None else list(config.core_parameters)
+    )
+    return run_mbcc(
+        engine.graph,
+        list(query.vertices),
+        core_parameters=core_parameters,
+        b=config.b,
+        bulk_deletion=config.bulk_deletion,
+        max_iterations=config.max_iterations,
+        instrumentation=instrumentation,
+        backend=config.backend,
+        groups=engine.group,
+    )

@@ -1,0 +1,158 @@
+"""Typed queries and the uniform search response.
+
+Every method — the three BCC searches, the multi-labeled mBCC search and the
+CTC/PSA baselines — is invoked through a :class:`Query` and answers with a
+:class:`SearchResponse`, so callers (and the eval harness) handle one shape
+instead of five result types and bare-``None`` conventions:
+
+* ``status == "ok"`` — a community was found; ``result`` holds the
+  method-native result object (``BCCResult``, ``MBCCResult``, ...) and
+  ``vertices`` its member set.
+* ``status == "empty"`` — no community satisfies the constraints; ``reason``
+  carries a machine-readable code (``repro.exceptions.REASON_*``) instead of
+  the bare ``None`` the legacy free functions return.
+
+Malformed queries (unknown vertices, equal labels, bad parameters) still
+raise — they are caller errors, not empty answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Set, Tuple
+
+from repro.api.config import SearchConfig
+from repro.eval.instrumentation import SearchInstrumentation
+from repro.exceptions import (
+    REASON_NO_COMMUNITY,
+    EmptyCommunityError,
+    QueryError,
+)
+from repro.graph.labeled_graph import LabeledGraph, Vertex
+
+#: ``SearchResponse.status`` values.
+STATUS_OK = "ok"
+STATUS_EMPTY = "empty"
+
+
+@dataclass(frozen=True)
+class Query:
+    """One community-search request: a method name plus its query vertices.
+
+    ``method`` is resolved through the method registry (canonical names,
+    paper display names and aliases all work — ``"lp-bcc"`` and ``"LP-BCC"``
+    are the same method).  ``config`` optionally overrides the engine's base
+    configuration for this query only.
+    """
+
+    method: str
+    vertices: Tuple[Vertex, ...]
+    config: Optional[SearchConfig] = None
+
+    def __post_init__(self) -> None:
+        if not self.method or not isinstance(self.method, str):
+            raise QueryError("query method must be a non-empty string")
+        if isinstance(self.vertices, str):
+            # tuple("Toronto") would silently become one query per character.
+            raise QueryError(
+                "vertices must be a sequence of vertices, not a bare string"
+            )
+        object.__setattr__(self, "vertices", tuple(self.vertices))
+        if not self.vertices:
+            raise QueryError("query must name at least one vertex")
+
+    def as_pair(self) -> Tuple[Vertex, Vertex]:
+        """Return the (q_left, q_right) pair; raise for other arities."""
+        if len(self.vertices) != 2:
+            raise QueryError(
+                f"method {self.method!r} expects exactly two query vertices, "
+                f"got {len(self.vertices)}"
+            )
+        return (self.vertices[0], self.vertices[1])
+
+
+@dataclass(frozen=True)
+class BatchQuery:
+    """A batch of queries served over one warm engine snapshot.
+
+    ``config`` (when given) is the shared override applied to every member
+    query that does not carry its own.
+    """
+
+    queries: Tuple[Query, ...]
+    config: Optional[SearchConfig] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "queries", tuple(self.queries))
+
+    def __iter__(self) -> Iterator[Query]:
+        return iter(self.queries)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+
+@dataclass
+class SearchResponse:
+    """The uniform answer to one :class:`Query`.
+
+    Attributes
+    ----------
+    method:
+        Canonical registry name of the method that ran.
+    query:
+        The query vertices.
+    status:
+        ``"ok"`` or ``"empty"``.
+    result:
+        The method-native result object (``BCCResult``, ``MBCCResult``,
+        ``CTCResult``, ``PSAResult``) — ``None`` when empty.
+    reason:
+        Machine-readable empty-reason code (``None`` when ``status == "ok"``).
+    vertices:
+        Community member set (empty set when no community exists).
+    timings:
+        ``total_seconds`` for the call, split into ``query_seconds`` and
+        ``index_build_seconds`` (non-zero only on the call that triggered the
+        engine's lazy BCindex build).
+    instrumentation:
+        The per-search counters recorded by the algorithm.
+    """
+
+    method: str
+    query: Tuple[Vertex, ...]
+    status: str
+    result: Optional[object] = None
+    reason: Optional[str] = None
+    vertices: Set[Vertex] = field(default_factory=set)
+    timings: Dict[str, float] = field(default_factory=dict)
+    instrumentation: Optional[SearchInstrumentation] = None
+
+    @property
+    def found(self) -> bool:
+        """``True`` when a community was found."""
+        return self.status == STATUS_OK
+
+    @property
+    def community(self) -> Optional[LabeledGraph]:
+        """The community subgraph, when the method produced one."""
+        return getattr(self.result, "community", None)
+
+    @property
+    def iterations(self) -> int:
+        """Peeling iterations performed by the search (0 when unknown/empty)."""
+        return int(getattr(self.result, "iterations", 0))
+
+    @property
+    def query_distance(self) -> float:
+        """``dist(H, Q)`` of the returned community (0.0 when empty)."""
+        return float(getattr(self.result, "query_distance", 0.0))
+
+    def raise_for_empty(self) -> "SearchResponse":
+        """Raise :class:`EmptyCommunityError` when empty; return self otherwise."""
+        if not self.found:
+            raise EmptyCommunityError(
+                f"method {self.method!r} found no community for {self.query!r}",
+                reason=self.reason or REASON_NO_COMMUNITY,
+            )
+        return self

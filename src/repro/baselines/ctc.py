@@ -26,6 +26,11 @@ from repro.core.ktruss import (
     max_truss_value_containing,
 )
 from repro.eval.instrumentation import SearchInstrumentation
+from repro.exceptions import (
+    REASON_NO_COMMUNITY,
+    REASON_NO_TRUSS,
+    EmptyCommunityError,
+)
 from repro.graph.labeled_graph import LabeledGraph, Vertex
 from repro.graph.traversal import (
     are_connected,
@@ -82,20 +87,46 @@ def ctc_search(
     instrumentation:
         Optional counters.
     """
+    from repro.api import SearchConfig, one_shot_search
+
+    config = SearchConfig(
+        k=k, bulk_deletion=bulk_deletion, max_iterations=max_iterations
+    )
+    return one_shot_search(
+        "ctc", graph, tuple(query_vertices), config, instrumentation
+    )
+
+
+def run_ctc(
+    graph: LabeledGraph,
+    query_vertices: Sequence[Vertex],
+    k: Optional[int] = None,
+    bulk_deletion: bool = True,
+    max_iterations: Optional[int] = None,
+    instrumentation: Optional[SearchInstrumentation] = None,
+) -> CTCResult:
+    """CTC implementation registered as method ``"ctc"``.
+
+    Parameters match :func:`ctc_search`; raises :class:`EmptyCommunityError`
+    with a machine-readable ``reason`` instead of returning ``None``.
+    """
     inst = instrumentation if instrumentation is not None else SearchInstrumentation()
     query = list(query_vertices)
-    for q in query:
-        if q not in graph:
-            return None
+    graph.require_vertices(query)
 
     if k is None:
         k = max_truss_value_containing(graph, query)
         if k < 2:
-            return None
+            raise EmptyCommunityError(
+                "no connected k-truss with k >= 2 contains the query",
+                reason=REASON_NO_TRUSS,
+            )
 
     candidate = k_truss_containing(graph, k, query)
     if candidate is None:
-        return None
+        raise EmptyCommunityError(
+            f"no connected {k}-truss contains the query", reason=REASON_NO_TRUSS
+        )
 
     community = candidate.copy()
     # Truss maintenance removes individual edges, so intermediate graphs are
@@ -126,7 +157,7 @@ def ctc_search(
             break
 
     if best_snapshot is None:
-        return None
+        raise EmptyCommunityError(reason=REASON_NO_COMMUNITY)
     return CTCResult(
         community=best_snapshot,
         trussness=k,

@@ -29,8 +29,17 @@ from typing import Dict, List, Optional, Sequence, Set
 
 from repro.core.kcore import core_decomposition, k_core_vertices, max_core_value_containing
 from repro.eval.instrumentation import SearchInstrumentation
+from repro.exceptions import (
+    REASON_NO_CORE,
+    EmptyCommunityError,
+)
 from repro.graph.labeled_graph import LabeledGraph, Vertex
 from repro.graph.traversal import are_connected, bfs_distances, connected_component
+
+
+#: Default expansion / shrinking budgets (shared with SearchConfig).
+DEFAULT_SIZE_BUDGET = 2000
+DEFAULT_SHRINK_ROUNDS = 50
 
 
 @dataclass
@@ -72,8 +81,8 @@ def psa_search(
     graph: LabeledGraph,
     query_vertices: Sequence[Vertex],
     k: Optional[int] = None,
-    size_budget: int = 2000,
-    shrink_rounds: int = 50,
+    size_budget: int = DEFAULT_SIZE_BUDGET,
+    shrink_rounds: int = DEFAULT_SHRINK_ROUNDS,
     instrumentation: Optional[SearchInstrumentation] = None,
 ) -> Optional[PSAResult]:
     """Run the progressive minimum k-core search heuristic.
@@ -94,15 +103,37 @@ def psa_search(
     instrumentation:
         Optional counters.
     """
+    from repro.api import SearchConfig, one_shot_search
+
+    config = SearchConfig(k=k, size_budget=size_budget, shrink_rounds=shrink_rounds)
+    return one_shot_search(
+        "psa", graph, tuple(query_vertices), config, instrumentation
+    )
+
+
+def run_psa(
+    graph: LabeledGraph,
+    query_vertices: Sequence[Vertex],
+    k: Optional[int] = None,
+    size_budget: int = DEFAULT_SIZE_BUDGET,
+    shrink_rounds: int = DEFAULT_SHRINK_ROUNDS,
+    instrumentation: Optional[SearchInstrumentation] = None,
+) -> PSAResult:
+    """PSA implementation registered as method ``"psa"``.
+
+    Parameters match :func:`psa_search`; raises :class:`EmptyCommunityError`
+    with a machine-readable ``reason`` instead of returning ``None``.
+    """
     inst = instrumentation if instrumentation is not None else SearchInstrumentation()
     query = list(query_vertices)
-    for q in query:
-        if q not in graph:
-            return None
+    graph.require_vertices(query)
     if k is None:
         k = min(max_core_value_containing(graph, q) for q in query)
         if k <= 0:
-            return None
+            raise EmptyCommunityError(
+                "the query vertices share no k-core with k >= 1",
+                reason=REASON_NO_CORE,
+            )
 
     coreness = core_decomposition(graph)
     # Distances from the query set guide the best-first expansion.
@@ -154,7 +185,10 @@ def psa_search(
         # Fall back to the global connected k-core around the query.
         best_core = _connected_k_core_containing(graph, set(graph.vertices()), k, query)
         if best_core is None:
-            return None
+            raise EmptyCommunityError(
+                f"no connected {k}-core contains every query vertex",
+                reason=REASON_NO_CORE,
+            )
 
     # Shrinking: repeatedly try to drop the farthest vertex.
     community = best_core

@@ -24,7 +24,12 @@ from repro.core.butterfly import butterfly_degrees
 from repro.core.kcore import core_decomposition
 from repro.exceptions import IndexNotBuiltError
 from repro.graph.bipartite import extract_label_bipartite
-from repro.graph.labeled_graph import LabeledGraph, Label, Vertex
+from repro.graph.labeled_graph import (
+    LabeledGraph,
+    Label,
+    Vertex,
+    resolve_group_provider,
+)
 
 
 class BCIndex:
@@ -44,13 +49,23 @@ class BCIndex:
         Kernel substrate forwarded to the per-group core decompositions and
         the per-pair butterfly counting (``"auto"`` routes large groups
         through the CSR fast path of :mod:`repro.graph.csr`).
+    groups:
+        Optional callable mapping a label to its label-induced subgraph; a
+        prepared :class:`repro.api.BCCEngine` passes its per-label cache so
+        the index build reuses (and warms) the same subgraphs the searches
+        consume instead of rebuilding them.
     """
 
     def __init__(
-        self, graph: LabeledGraph, build: bool = True, backend: str = "auto"
+        self,
+        graph: LabeledGraph,
+        build: bool = True,
+        backend: str = "auto",
+        groups=None,
     ) -> None:
         self._graph = graph
         self._backend = backend
+        self._groups = groups
         self._coreness: Optional[Dict[Vertex, int]] = None
         self._max_coreness: int = 0
         self._butterfly_cache: Dict[Tuple[str, str], Dict[Vertex, int]] = {}
@@ -63,9 +78,10 @@ class BCIndex:
     # ------------------------------------------------------------------
     def build(self) -> None:
         """Build the coreness component of the index (label-group coreness)."""
+        group_of = resolve_group_provider(self._graph, self._groups)
         coreness: Dict[Vertex, int] = {}
         for label in self._graph.labels():
-            group = self._graph.label_induced_subgraph(label)
+            group = group_of(label)
             coreness.update(core_decomposition(group, backend=self._backend))
         # Isolated vertices within their group never appear in the
         # decomposition output of an empty-edge subgraph; default to 0.

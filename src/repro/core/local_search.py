@@ -33,9 +33,10 @@ from typing import Optional, Set
 from repro.core.bc_index import BCIndex
 from repro.core.bcc_model import BCCParameters, BCCResult, resolve_query_labels
 from repro.core.kcore import core_decomposition
-from repro.core.lp_bcc import lp_bcc_search
+from repro.core.lp_bcc import DEFAULT_RHO, run_lp_bcc
 from repro.core.path_weight import PathWeightConfig, butterfly_core_shortest_path
 from repro.eval.instrumentation import SearchInstrumentation
+from repro.exceptions import REASON_QUERY_DISCONNECTED, EmptyCommunityError
 from repro.graph.labeled_graph import LabeledGraph, Vertex
 from repro.graph.traversal import shortest_path
 
@@ -88,13 +89,13 @@ def expand_candidate_graph(
 
 
 def _auto_core_parameter(
-    candidate: LabeledGraph, label, query: Vertex
+    candidate: LabeledGraph, label, query: Vertex, backend: str = "auto"
 ) -> int:
     """Return the largest coreness of ``query`` within its label group of ``candidate``."""
     group = candidate.label_induced_subgraph(label)
     if query not in group:
         return 0
-    return core_decomposition(group).get(query, 0)
+    return core_decomposition(group, backend=backend).get(query, 0)
 
 
 def l2p_bcc_search(
@@ -107,11 +108,15 @@ def l2p_bcc_search(
     index: Optional[BCIndex] = None,
     eta: int = DEFAULT_CANDIDATE_SIZE,
     path_config: PathWeightConfig = PathWeightConfig(),
-    rho: int = 2,
+    rho: int = DEFAULT_RHO,
     max_iterations: Optional[int] = None,
     instrumentation: Optional[SearchInstrumentation] = None,
 ) -> Optional[BCCResult]:
     """Run the L2P-BCC local search (Algorithm 8).
+
+    This legacy one-shot entry point delegates to a throwaway
+    :class:`repro.api.BCCEngine`; pass ``index`` to reuse a pre-built
+    BCindex, or hold a long-lived engine to have it built and cached once.
 
     Parameters
     ----------
@@ -135,10 +140,50 @@ def l2p_bcc_search(
     rho, max_iterations, instrumentation:
         Passed through to the LP-BCC refinement.
     """
+    from repro.api import SearchConfig, one_shot_search
+
+    config = SearchConfig(
+        k1=k1,
+        k2=k2,
+        b=b,
+        rho=rho,
+        max_iterations=max_iterations,
+        eta=eta,
+        path_config=path_config,
+    )
+    return one_shot_search(
+        "l2p-bcc", graph, (q_left, q_right), config, instrumentation, index=index
+    )
+
+
+def run_l2p_bcc(
+    graph: LabeledGraph,
+    q_left: Vertex,
+    q_right: Vertex,
+    k1: Optional[int] = None,
+    k2: Optional[int] = None,
+    b: int = 1,
+    index: Optional[BCIndex] = None,
+    eta: int = DEFAULT_CANDIDATE_SIZE,
+    path_config: PathWeightConfig = PathWeightConfig(),
+    rho: int = DEFAULT_RHO,
+    max_iterations: Optional[int] = None,
+    instrumentation: Optional[SearchInstrumentation] = None,
+    backend: str = "auto",
+    groups=None,
+) -> BCCResult:
+    """L2P-BCC implementation registered as method ``"l2p-bcc"``.
+
+    Parameters match :func:`l2p_bcc_search`; ``backend`` selects the kernel
+    substrate throughout (index build, candidate cores, LP-BCC refinement)
+    and ``groups`` optionally supplies cached label-induced subgraphs used
+    by the global LP-BCC fallback.  Raises :class:`EmptyCommunityError`
+    instead of returning ``None``.
+    """
     inst = instrumentation if instrumentation is not None else SearchInstrumentation()
     left_label, right_label = resolve_query_labels(graph, q_left, q_right)
     if index is None:
-        index = BCIndex(graph)
+        index = BCIndex(graph, backend=backend)
     elif not index.is_built():
         index.build()
 
@@ -149,7 +194,10 @@ def l2p_bcc_search(
     if seed_path is None:
         seed_path = shortest_path(graph, q_left, q_right)
     if seed_path is None:
-        return None
+        raise EmptyCommunityError(
+            f"query vertices {q_left!r} and {q_right!r} are not connected",
+            reason=REASON_QUERY_DISCONNECTED,
+        )
 
     # Line 2: per-side expansion thresholds from the path's minimum coreness.
     left_on_path = [v for v in seed_path if graph.label(v) == left_label]
@@ -173,30 +221,34 @@ def l2p_bcc_search(
     # Line 4: core parameters default to the largest coreness on each side of
     # the candidate graph.
     if k1 is None:
-        k1 = _auto_core_parameter(candidate, left_label, q_left)
+        k1 = _auto_core_parameter(candidate, left_label, q_left, backend=backend)
     if k2 is None:
-        k2 = _auto_core_parameter(candidate, right_label, q_right)
+        k2 = _auto_core_parameter(candidate, right_label, q_right, backend=backend)
     parameters = BCCParameters(k1=k1, k2=k2, b=b)
 
     # Line 5: refine with the LP-BCC loop (bulk deletion of farthest vertices).
-    result = lp_bcc_search(
-        candidate,
-        q_left,
-        q_right,
-        k1=parameters.k1,
-        k2=parameters.k2,
-        b=parameters.b,
-        bulk_deletion=True,
-        rho=rho,
-        max_iterations=max_iterations,
-        instrumentation=inst,
-    )
-    if result is None and candidate.num_vertices() < graph.num_vertices():
+    try:
+        result = run_lp_bcc(
+            candidate,
+            q_left,
+            q_right,
+            k1=parameters.k1,
+            k2=parameters.k2,
+            b=parameters.b,
+            bulk_deletion=True,
+            rho=rho,
+            max_iterations=max_iterations,
+            instrumentation=inst,
+            backend=backend,
+        )
+    except EmptyCommunityError:
+        if candidate.num_vertices() >= graph.num_vertices():
+            raise
         # The local candidate missed the community (e.g. eta too small for the
         # required cores); fall back to the global LP-BCC search so that the
         # method degrades gracefully instead of returning nothing.
         inst.add("fallback_to_global", 1.0)
-        result = lp_bcc_search(
+        result = run_lp_bcc(
             graph,
             q_left,
             q_right,
@@ -207,7 +259,8 @@ def l2p_bcc_search(
             rho=rho,
             max_iterations=max_iterations,
             instrumentation=inst,
+            backend=backend,
+            groups=groups,
         )
-    if result is not None:
-        result.statistics.update(inst.as_dict())
+    result.statistics.update(inst.as_dict())
     return result

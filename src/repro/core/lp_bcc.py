@@ -29,7 +29,16 @@ from repro.core.leader_pair import LeaderPairTracker, identify_leader_pair
 from repro.core.maintenance import maintain_bcc
 from repro.core.query_distance import QueryDistanceTracker
 from repro.eval.instrumentation import SearchInstrumentation
+from repro.exceptions import (
+    REASON_NO_CANDIDATE,
+    REASON_NO_COMMUNITY,
+    REASON_NO_LEADER_PAIR,
+    EmptyCommunityError,
+)
 from repro.graph.labeled_graph import LabeledGraph, Vertex
+
+#: Default leader search radius of Algorithm 6 (shared with SearchConfig).
+DEFAULT_RHO = 2
 
 
 def lp_bcc_search(
@@ -40,22 +49,72 @@ def lp_bcc_search(
     k2: Optional[int] = None,
     b: int = 1,
     bulk_deletion: bool = True,
-    rho: int = 2,
+    rho: int = DEFAULT_RHO,
     max_iterations: Optional[int] = None,
     instrumentation: Optional[SearchInstrumentation] = None,
 ) -> Optional[BCCResult]:
     """Run the LP-BCC search (Algorithm 1 + Algorithms 5, 6 and 7).
 
     Parameters match :func:`repro.core.online_bcc.online_bcc_search`; ``rho``
-    is the leader search radius of Algorithm 6.
+    is the leader search radius of Algorithm 6.  This legacy one-shot entry
+    point delegates to a throwaway :class:`repro.api.BCCEngine`.
+    """
+    from repro.api import SearchConfig, one_shot_search
+
+    config = SearchConfig(
+        k1=k1,
+        k2=k2,
+        b=b,
+        bulk_deletion=bulk_deletion,
+        rho=rho,
+        max_iterations=max_iterations,
+    )
+    return one_shot_search(
+        "lp-bcc", graph, (q_left, q_right), config, instrumentation
+    )
+
+
+def run_lp_bcc(
+    graph: LabeledGraph,
+    q_left: Vertex,
+    q_right: Vertex,
+    k1: Optional[int] = None,
+    k2: Optional[int] = None,
+    b: int = 1,
+    bulk_deletion: bool = True,
+    rho: int = DEFAULT_RHO,
+    max_iterations: Optional[int] = None,
+    instrumentation: Optional[SearchInstrumentation] = None,
+    backend: str = "auto",
+    groups=None,
+) -> BCCResult:
+    """LP-BCC implementation registered as method ``"lp-bcc"``.
+
+    Raises :class:`EmptyCommunityError` with a machine-readable ``reason``
+    instead of returning ``None``; ``groups`` optionally supplies cached
+    label-induced subgraphs from a prepared engine.
     """
     inst = instrumentation if instrumentation is not None else SearchInstrumentation()
     left_label, right_label = resolve_query_labels(graph, q_left, q_right)
-    parameters = BCCParameters.from_query(graph, q_left, q_right, k1=k1, k2=k2, b=b)
+    parameters = BCCParameters.from_query(
+        graph, q_left, q_right, k1=k1, k2=k2, b=b, groups=groups
+    )
 
-    g0 = find_g0(graph, q_left, q_right, parameters, instrumentation=inst)
+    g0 = find_g0(
+        graph,
+        q_left,
+        q_right,
+        parameters,
+        instrumentation=inst,
+        backend=backend,
+        groups=groups,
+    )
     if g0 is None:
-        return None
+        raise EmptyCommunityError(
+            f"no maximal ({parameters.k1}, {parameters.k2}, {parameters.b})-BCC "
+            f"candidate contains the query pair",
+            reason=REASON_NO_CANDIDATE,
+        )
 
     community = g0.community.copy()
     original = g0.community
@@ -83,7 +142,10 @@ def lp_bcc_search(
     )
     leader_tracker.set_leaders(left_leader, right_leader)
     if not leader_tracker.revalidate():
-        return None
+        raise EmptyCommunityError(
+            f"no leader pair with butterfly degree >= {parameters.b} exists in G0",
+            reason=REASON_NO_LEADER_PAIR,
+        )
 
     with inst.time_query_distance():
         distance_tracker = QueryDistanceTracker(community, query)
@@ -131,7 +193,7 @@ def lp_bcc_search(
             break
 
     if best_vertices is None:
-        return None
+        raise EmptyCommunityError(reason=REASON_NO_COMMUNITY)
 
     final_community = original.induced_subgraph(best_vertices)
     inst.add("leader_full_recounts", float(leader_tracker.full_recounts))

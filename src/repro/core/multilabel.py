@@ -30,9 +30,20 @@ from repro.core.kcore import core_decomposition, k_core_containing
 from repro.core.maintenance import maintain_label_core
 from repro.core.query_distance import QueryDistanceTracker
 from repro.eval.instrumentation import SearchInstrumentation
-from repro.exceptions import QueryError
+from repro.exceptions import (
+    REASON_NO_CANDIDATE,
+    REASON_NO_COMMUNITY,
+    EmptyCommunityError,
+    QueryError,
+)
 from repro.graph.bipartite import extract_bipartite
-from repro.graph.labeled_graph import LabeledGraph, Label, Vertex, union_graphs
+from repro.graph.labeled_graph import (
+    LabeledGraph,
+    Label,
+    Vertex,
+    resolve_group_provider,
+    union_graphs,
+)
 from repro.graph.traversal import are_connected
 
 
@@ -68,6 +79,7 @@ def _interaction_graph_edges(
     labels: Sequence[Label],
     b: int,
     instrumentation: Optional[SearchInstrumentation] = None,
+    backend: str = "auto",
 ) -> List[Tuple[Label, Label]]:
     """Return the label pairs that currently have a cross-group interaction.
 
@@ -85,7 +97,7 @@ def _interaction_graph_edges(
         bipartite = extract_bipartite(community, left, right)
         if bipartite.num_edges() == 0:
             continue
-        degrees = butterfly_degrees(bipartite)
+        degrees = butterfly_degrees(bipartite, backend=backend)
         if instrumentation is not None:
             instrumentation.record_butterfly_counting()
         max_left, max_right = max_butterfly_degree_per_side(bipartite, degrees)
@@ -119,20 +131,42 @@ def cross_group_connected(
     return len(roots) <= 1
 
 
-def _resolve_parameters(
+def validate_mbcc_query(
+    graph: LabeledGraph, query_vertices: Sequence[Vertex]
+) -> List[Label]:
+    """Validate an mBCC query and return its labels (one per vertex).
+
+    Shared by :func:`run_mbcc` and ``BCCEngine.explain`` so both raise
+    identical errors: at least two existing vertices, all with distinct
+    labels.
+    """
+    query = list(query_vertices)
+    if len(query) < 2:
+        raise QueryError("mBCC search needs at least two query vertices")
+    graph.require_vertices(query)
+    labels = [graph.label(q) for q in query]
+    if len(set(labels)) != len(labels):
+        raise QueryError("every query vertex must have a distinct label")
+    return labels
+
+
+def resolve_mbcc_parameters(
     graph: LabeledGraph,
     query_vertices: Sequence[Vertex],
     core_parameters: Optional[Sequence[int]],
+    groups=None,
+    backend: str = "auto",
 ) -> Dict[Label, int]:
     """Resolve per-label core parameters, defaulting to each query's coreness."""
+    group_of = resolve_group_provider(graph, groups)
     resolved: Dict[Label, int] = {}
     for position, q in enumerate(query_vertices):
         label = graph.label(q)
         if core_parameters is not None:
             resolved[label] = core_parameters[position]
         else:
-            group = graph.label_induced_subgraph(label)
-            resolved[label] = core_decomposition(group).get(q, 0)
+            group = group_of(label)
+            resolved[label] = core_decomposition(group, backend=backend).get(q, 0)
     return resolved
 
 
@@ -142,20 +176,24 @@ def find_mbcc_candidate(
     core_parameters: Dict[Label, int],
     b: int,
     instrumentation: Optional[SearchInstrumentation] = None,
+    groups=None,
+    backend: str = "auto",
 ) -> Optional[LabeledGraph]:
     """Generalised Algorithm 2: the maximal connected mBCC candidate ``G0``.
 
     Builds, per query label, the connected k_i-core around the query vertex;
     unions them together with all cross edges between admitted groups; and
-    checks cross-group connectivity and query connectivity.
+    checks cross-group connectivity and query connectivity.  ``groups``
+    optionally supplies cached label-induced subgraphs.
     """
+    group_of = resolve_group_provider(graph, groups)
     cores: List[LabeledGraph] = []
     labels: List[Label] = []
     for q in query_vertices:
         label = graph.label(q)
         labels.append(label)
-        group = graph.label_induced_subgraph(label)
-        core = k_core_containing(group, core_parameters[label], q)
+        group = group_of(label)
+        core = k_core_containing(group, core_parameters[label], q, backend=backend)
         if core is None:
             return None
         cores.append(core)
@@ -167,7 +205,9 @@ def find_mbcc_candidate(
         for w in graph.neighbors(u):
             if w in admitted and graph.label(u) != graph.label(w):
                 community.add_edge(u, w)
-    interaction = _interaction_graph_edges(community, labels, b, instrumentation)
+    interaction = _interaction_graph_edges(
+        community, labels, b, instrumentation, backend=backend
+    )
     if not cross_group_connected(labels, interaction):
         return None
     if not are_connected(community, query_vertices):
@@ -185,6 +225,9 @@ def mbcc_search(
     instrumentation: Optional[SearchInstrumentation] = None,
 ) -> Optional[MBCCResult]:
     """Run the multi-labeled BCC search of Algorithm 9.
+
+    This legacy one-shot entry point delegates to a throwaway
+    :class:`repro.api.BCCEngine` (method ``"mbcc"``).
 
     Parameters
     ----------
@@ -205,19 +248,52 @@ def mbcc_search(
     instrumentation:
         Optional counters.
     """
+    from repro.api import SearchConfig, one_shot_search
+
+    config = SearchConfig(
+        b=b,
+        bulk_deletion=bulk_deletion,
+        max_iterations=max_iterations,
+        core_parameters=None if core_parameters is None else tuple(core_parameters),
+    )
+    return one_shot_search(
+        "mbcc", graph, tuple(query_vertices), config, instrumentation
+    )
+
+
+def run_mbcc(
+    graph: LabeledGraph,
+    query_vertices: Sequence[Vertex],
+    core_parameters: Optional[Sequence[int]] = None,
+    b: int = 1,
+    bulk_deletion: bool = True,
+    max_iterations: Optional[int] = None,
+    instrumentation: Optional[SearchInstrumentation] = None,
+    backend: str = "auto",
+    groups=None,
+) -> MBCCResult:
+    """Algorithm 9 implementation registered as method ``"mbcc"``.
+
+    Parameters match :func:`mbcc_search`; ``backend`` selects the kernel
+    substrate for the candidate cores and butterfly counting, and ``groups``
+    optionally supplies cached label-induced subgraphs.  Raises
+    :class:`EmptyCommunityError` instead of returning ``None``.
+    """
     inst = instrumentation if instrumentation is not None else SearchInstrumentation()
     query = list(query_vertices)
-    if len(query) < 2:
-        raise QueryError("mBCC search needs at least two query vertices")
-    graph.require_vertices(query)
-    labels = [graph.label(q) for q in query]
-    if len(set(labels)) != len(labels):
-        raise QueryError("every query vertex must have a distinct label")
+    labels = validate_mbcc_query(graph, query)
 
-    resolved = _resolve_parameters(graph, query, core_parameters)
-    candidate = find_mbcc_candidate(graph, query, resolved, b, inst)
+    resolved = resolve_mbcc_parameters(
+        graph, query, core_parameters, groups=groups, backend=backend
+    )
+    candidate = find_mbcc_candidate(
+        graph, query, resolved, b, inst, groups=groups, backend=backend
+    )
     if candidate is None:
-        return None
+        raise EmptyCommunityError(
+            f"no maximal m-labeled candidate with b={b} contains the query",
+            reason=REASON_NO_CANDIDATE,
+        )
 
     community = candidate.copy()
     original = candidate
@@ -253,7 +329,9 @@ def mbcc_search(
 
         if any(q not in community for q in query):
             break
-        interaction = _interaction_graph_edges(community, labels, b, inst)
+        interaction = _interaction_graph_edges(
+            community, labels, b, inst, backend=backend
+        )
         if not cross_group_connected(labels, interaction):
             break
         if not are_connected(community, query):
@@ -261,9 +339,11 @@ def mbcc_search(
         tracker.remove_vertices(removed)
 
     if best_vertices is None:
-        return None
+        raise EmptyCommunityError(reason=REASON_NO_COMMUNITY)
     final_community = original.induced_subgraph(best_vertices)
-    interaction = _interaction_graph_edges(final_community, labels, b)
+    interaction = _interaction_graph_edges(
+        final_community, labels, b, backend=backend
+    )
     return MBCCResult(
         community=final_community,
         groups={lab: final_community.vertices_with_label(lab) for lab in labels},

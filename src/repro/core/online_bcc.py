@@ -23,6 +23,11 @@ from repro.core.bcc_model import BCCParameters, BCCResult, resolve_query_labels
 from repro.core.find_g0 import find_g0
 from repro.core.maintenance import maintain_bcc
 from repro.eval.instrumentation import SearchInstrumentation
+from repro.exceptions import (
+    REASON_NO_CANDIDATE,
+    REASON_NO_COMMUNITY,
+    EmptyCommunityError,
+)
 from repro.graph.csr import csr_bfs_distances
 from repro.graph.labeled_graph import LabeledGraph, Vertex
 from repro.graph.traversal import (
@@ -46,6 +51,11 @@ def online_bcc_search(
     use_fast_path: bool = True,
 ) -> Optional[BCCResult]:
     """Run the Online-BCC greedy search (Algorithm 1).
+
+    This is the legacy one-shot entry point; it delegates to a throwaway
+    :class:`repro.api.BCCEngine` so every search flows through the same
+    prepared-engine front door.  Long-lived callers should construct the
+    engine directly and reuse it across queries.
 
     Parameters
     ----------
@@ -79,13 +89,64 @@ def online_bcc_search(
     BCCResult or None
         ``None`` when no (k1, k2, b)-BCC containing the query exists.
     """
+    from repro.api import SearchConfig, one_shot_search
+
+    config = SearchConfig(
+        k1=k1,
+        k2=k2,
+        b=b,
+        bulk_deletion=bulk_deletion,
+        max_iterations=max_iterations,
+        fast_path=use_fast_path,
+    )
+    return one_shot_search(
+        "online-bcc", graph, (q_left, q_right), config, instrumentation
+    )
+
+
+def run_online_bcc(
+    graph: LabeledGraph,
+    q_left: Vertex,
+    q_right: Vertex,
+    k1: Optional[int] = None,
+    k2: Optional[int] = None,
+    b: int = 1,
+    bulk_deletion: bool = True,
+    max_iterations: Optional[int] = None,
+    instrumentation: Optional[SearchInstrumentation] = None,
+    use_fast_path: bool = True,
+    backend: str = "auto",
+    groups=None,
+) -> BCCResult:
+    """Algorithm 1 implementation registered as method ``"online-bcc"``.
+
+    Parameters match :func:`online_bcc_search` plus the engine plumbing:
+    ``backend`` selects the kernel substrate for Algorithm 2 and ``groups``
+    optionally supplies cached label-induced subgraphs.  Raises
+    :class:`EmptyCommunityError` (with a machine-readable ``reason``) when no
+    community exists instead of returning ``None``.
+    """
     inst = instrumentation if instrumentation is not None else SearchInstrumentation()
     left_label, right_label = resolve_query_labels(graph, q_left, q_right)
-    parameters = BCCParameters.from_query(graph, q_left, q_right, k1=k1, k2=k2, b=b)
+    parameters = BCCParameters.from_query(
+        graph, q_left, q_right, k1=k1, k2=k2, b=b, groups=groups
+    )
 
-    g0 = find_g0(graph, q_left, q_right, parameters, instrumentation=inst)
+    g0 = find_g0(
+        graph,
+        q_left,
+        q_right,
+        parameters,
+        instrumentation=inst,
+        backend=backend,
+        groups=groups,
+    )
     if g0 is None:
-        return None
+        raise EmptyCommunityError(
+            f"no maximal ({parameters.k1}, {parameters.k2}, {parameters.b})-BCC "
+            f"candidate contains the query pair",
+            reason=REASON_NO_CANDIDATE,
+        )
 
     community = g0.community.copy()
     original = g0.community
@@ -173,7 +234,7 @@ def online_bcc_search(
             break
 
     if best_vertices is None:
-        return None
+        raise EmptyCommunityError(reason=REASON_NO_COMMUNITY)
 
     final_community = original.induced_subgraph(best_vertices)
     result = BCCResult(

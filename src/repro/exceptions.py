@@ -45,13 +45,42 @@ class QueryError(ReproError):
     """
 
 
+class UnknownMethodError(QueryError, ValueError):
+    """Raised when a search-method name is not present in the method registry."""
+
+    def __init__(self, method, known=()) -> None:
+        message = f"unknown method {method!r}"
+        if known:
+            message += f"; known: {list(known)}"
+        super().__init__(message)
+        self.method = method
+        self.known = tuple(known)
+
+
+#: Machine-readable reasons attached to :class:`EmptyCommunityError` (and
+#: surfaced on ``SearchResponse.reason`` when a search finds no community).
+REASON_NO_CANDIDATE = "no-candidate"
+REASON_NO_LEADER_PAIR = "no-leader-pair"
+REASON_NO_COMMUNITY = "no-community"
+REASON_QUERY_DISCONNECTED = "query-disconnected"
+REASON_MISSING_VERTEX = "missing-query-vertex"
+REASON_NO_TRUSS = "no-truss"
+REASON_NO_CORE = "no-core"
+
+
 class EmptyCommunityError(ReproError):
     """Raised when no community satisfying the requested constraints exists.
 
-    Search routines normally return ``None`` (or an empty result object) for
-    "no answer"; this exception is used by strict APIs that are documented to
-    raise instead.
+    The registered search implementations raise this internally with a
+    machine-readable ``reason`` code (one of the ``REASON_*`` constants);
+    :class:`repro.api.BCCEngine` converts it into a ``SearchResponse`` with
+    ``status="empty"`` while the legacy free functions keep returning
+    ``None``.
     """
+
+    def __init__(self, message: str = "", reason: str = REASON_NO_COMMUNITY) -> None:
+        super().__init__(message or f"no community exists ({reason})")
+        self.reason = reason
 
 
 class IndexNotBuiltError(ReproError):

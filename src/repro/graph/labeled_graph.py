@@ -312,6 +312,14 @@ class LabeledGraph:
         """Return ``True`` when a current (non-stale) CSR snapshot is cached."""
         return self._frozen is not None and self._frozen_version == self._version
 
+    def version(self) -> int:
+        """Return the mutation counter (bumped on every structural change).
+
+        Long-lived caches keyed on a graph (the engine's label-group cache,
+        the CSR snapshot) compare this counter to detect staleness.
+        """
+        return self._version
+
     def induced_subgraph(self, vertices: Iterable[Vertex]) -> "LabeledGraph":
         """Return the subgraph induced by ``vertices`` (labels preserved)."""
         keep = {v for v in vertices if v in self._adj}
@@ -372,6 +380,18 @@ class LabeledGraph:
         for v, lab in self._labels.items():
             if lab is None:
                 raise LabelError(f"vertex {v!r} has no label")
+
+
+def resolve_group_provider(graph: LabeledGraph, groups):
+    """Return the label→subgraph callable: ``groups`` or the graph's own.
+
+    The search algorithms accept an optional ``groups`` hook so a prepared
+    :class:`repro.api.BCCEngine` can supply its per-label subgraph cache;
+    this helper centralises the fallback to
+    :meth:`LabeledGraph.label_induced_subgraph` so every consumer resolves
+    the cache identically.
+    """
+    return groups if groups is not None else graph.label_induced_subgraph
 
 
 def union_graphs(*graphs: LabeledGraph) -> LabeledGraph:

@@ -1,0 +1,274 @@
+"""Unit and acceptance tests for the prepared BCCEngine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    STATUS_EMPTY,
+    STATUS_OK,
+    BatchQuery,
+    BCCEngine,
+    Query,
+    SearchConfig,
+)
+from repro.core.bc_index import BCIndex
+from repro.datasets import generate_baidu_network
+from repro.eval.queries import QuerySpec, generate_query_pairs
+from repro.exceptions import (
+    REASON_NO_CANDIDATE,
+    EmptyCommunityError,
+    QueryError,
+    VertexNotFoundError,
+)
+
+
+class TestConstruction:
+    def test_accepts_bundle(self, tiny_baidu_bundle):
+        engine = BCCEngine(tiny_baidu_bundle)
+        assert engine.graph is tiny_baidu_bundle.graph
+
+    def test_rejects_non_graph(self):
+        with pytest.raises(TypeError):
+            BCCEngine(42)
+
+    def test_prepare_chains_and_counts_once(self, paper_graph):
+        engine = BCCEngine(paper_graph).prepare()
+        assert engine.is_prepared()
+        assert engine.counters["csr_freezes"] <= 1
+        frozen = paper_graph.freeze()
+        engine.prepare()
+        assert paper_graph.freeze() is frozen
+        assert engine.counters["csr_freezes"] <= 1
+        assert engine.counters["prepare_calls"] == 2
+
+
+class TestSearch:
+    def test_ok_response_shape(self, paper_graph):
+        engine = BCCEngine(paper_graph, SearchConfig(k1=4, k2=3, b=1))
+        response = engine.search(Query("online-bcc", ("ql", "qr")))
+        assert response.status == STATUS_OK and response.found
+        assert response.method == "online-bcc"
+        assert response.query == ("ql", "qr")
+        assert {"ql", "qr"} <= response.vertices
+        assert response.community is not None
+        assert response.iterations >= 0
+        assert response.reason is None
+        assert response.timings["total_seconds"] >= 0
+        assert response.timings["query_seconds"] >= 0
+        assert response.raise_for_empty() is response
+
+    def test_empty_response_has_machine_readable_reason(self, paper_graph):
+        engine = BCCEngine(paper_graph)
+        response = engine.search(
+            Query("lp-bcc", ("ql", "qr"), config=SearchConfig(k1=99, k2=99))
+        )
+        assert response.status == STATUS_EMPTY and not response.found
+        assert response.result is None
+        assert response.vertices == set()
+        assert response.reason == REASON_NO_CANDIDATE
+        with pytest.raises(EmptyCommunityError) as excinfo:
+            response.raise_for_empty()
+        assert excinfo.value.reason == REASON_NO_CANDIDATE
+
+    def test_malformed_queries_still_raise(self, paper_graph):
+        engine = BCCEngine(paper_graph)
+        with pytest.raises(QueryError):
+            engine.search(Query("lp-bcc", ("ql", "v1", "qr")))  # wrong arity
+        # Unknown vertices raise for every method kind — baselines included
+        # (their legacy wrappers translate this back to None).
+        for method in ("lp-bcc", "ctc", "psa", "mbcc"):
+            with pytest.raises(VertexNotFoundError):
+                engine.search(Query(method, ("ql", "missing")))
+        with pytest.raises(ValueError):
+            engine.search(Query("Louvain", ("ql", "qr")))
+
+    def test_query_rejects_bare_string_vertices(self):
+        with pytest.raises(QueryError):
+            Query("ctc", "Toronto")  # would otherwise split into characters
+        with pytest.raises(QueryError):
+            Query("", ("ql", "qr"))
+        with pytest.raises(QueryError):
+            Query("ctc", ())
+
+    def test_config_precedence_call_over_query_over_engine(self, paper_graph):
+        engine = BCCEngine(paper_graph, SearchConfig(k1=4, k2=3))
+        query = Query("online-bcc", ("ql", "qr"), config=SearchConfig(k1=99, k2=99))
+        # Query-level override beats the engine base...
+        assert engine.search(query).status == STATUS_EMPTY
+        # ...and the call-level override beats both.
+        response = engine.search(query, config=SearchConfig(k1=4, k2=3))
+        assert response.status == STATUS_OK
+
+    def test_instrumentation_passthrough(self, paper_graph):
+        from repro.eval.instrumentation import SearchInstrumentation
+
+        inst = SearchInstrumentation()
+        engine = BCCEngine(paper_graph)
+        response = engine.search(
+            Query("online-bcc", ("ql", "qr")), instrumentation=inst
+        )
+        assert response.instrumentation is inst
+        assert inst.butterfly_counting_calls >= 1
+
+
+class TestIndexLifecycle:
+    def test_lazy_index_built_once_and_timed(self, paper_graph):
+        engine = BCCEngine(paper_graph)
+        first = engine.search(Query("l2p-bcc", ("ql", "qr")))
+        second = engine.search(Query("l2p-bcc", ("ql", "qr")))
+        assert engine.counters["index_builds"] == 1
+        assert first.timings["index_build_seconds"] > 0
+        assert second.timings["index_build_seconds"] == 0.0
+        assert first.vertices == second.vertices
+
+    def test_prebuilt_index_not_rebuilt(self, paper_graph):
+        index = BCIndex(paper_graph)
+        engine = BCCEngine(paper_graph, index=index)
+        engine.search(Query("l2p-bcc", ("ql", "qr")))
+        assert engine.counters["index_builds"] == 0
+        assert engine.index is index
+
+    def test_unbuilt_index_is_built_on_first_use(self, paper_graph):
+        index = BCIndex(paper_graph, build=False)
+        engine = BCCEngine(paper_graph, index=index)
+        assert not engine.has_index()
+        engine.search(Query("l2p-bcc", ("ql", "qr")))
+        assert engine.counters["index_builds"] == 1
+        assert engine.has_index()
+
+
+class TestVersionInvalidation:
+    def test_mutation_clears_caches(self, paper_graph):
+        engine = BCCEngine(paper_graph).prepare()
+        engine.search(Query("lp-bcc", ("ql", "qr")))
+        engine.ensure_index()
+        assert engine.counters["group_builds"] >= 1
+        paper_graph.add_edge("ql", "u1")
+        assert not engine.is_prepared()
+        assert not engine.has_index()
+        response = engine.search(Query("lp-bcc", ("ql", "qr")))
+        assert response.status in (STATUS_OK, STATUS_EMPTY)
+
+
+class TestExplain:
+    def test_explain_bcc_resolves_coreness_defaults(self, paper_graph):
+        engine = BCCEngine(paper_graph).prepare()
+        info = engine.explain(Query("lp-bcc", ("ql", "qr")))
+        assert info["method"]["display"] == "LP-BCC"
+        assert info["engine"]["prepared"] is True
+        resolved = info["resolved"]
+        assert resolved["left_label"] == "SE" and resolved["right_label"] == "UI"
+        # Section 3.5 defaults: coreness of ql within SE is 4, of qr within UI is 3.
+        assert resolved["k1"] == 4 and resolved["k2"] == 3
+        # Explaining does not run the search.
+        assert engine.counters["searches"] == 0
+
+    def test_explain_l2p_defers_unset_k(self, paper_graph):
+        info = BCCEngine(paper_graph).explain(Query("l2p-bcc", ("ql", "qr")))
+        assert info["resolved"]["k1"] is None
+        assert "candidate" in info["resolved"]["note"]
+
+    def test_explain_baselines_and_multilabel(self, paper_graph):
+        engine = BCCEngine(paper_graph)
+        ctc_info = engine.explain(Query("ctc", ("ql", "qr")))
+        assert "trussness" in ctc_info["resolved"]["note"]
+        mbcc_info = engine.explain(
+            Query("mbcc", ("ql", "qr"), config=SearchConfig(core_parameters=(2, 2)))
+        )
+        assert mbcc_info["resolved"]["core_parameters"] == {"SE": 2, "UI": 2}
+
+    def test_explain_malformed_query_raises(self, paper_graph):
+        with pytest.raises(QueryError):
+            BCCEngine(paper_graph).explain(Query("lp-bcc", ("ql", "v1")))
+        # explain mirrors run_mbcc's validation: duplicate labels raise.
+        with pytest.raises(QueryError):
+            BCCEngine(paper_graph).explain(Query("mbcc", ("ql", "v1")))
+        # Unknown vertices raise for every kind, baselines included.
+        for method in ("lp-bcc", "ctc", "psa", "mbcc"):
+            with pytest.raises(VertexNotFoundError):
+                BCCEngine(paper_graph).explain(Query(method, ("ql", "ghost")))
+
+
+class TestSearchMany:
+    def test_batch_equals_sequential(self, tiny_baidu_bundle):
+        pairs = generate_query_pairs(
+            tiny_baidu_bundle, QuerySpec(count=5), seed=3
+        )
+        queries = [Query("lp-bcc", pair) for pair in pairs]
+        batch = BCCEngine(tiny_baidu_bundle).search_many(queries)
+        sequential = [
+            BCCEngine(tiny_baidu_bundle).search(query) for query in queries
+        ]
+        assert len(batch) == len(queries)
+        for got, want in zip(batch, sequential):
+            assert got.status == want.status
+            assert got.vertices == want.vertices
+            assert got.iterations == want.iterations
+
+    def test_batch_query_carries_shared_config(self, paper_graph):
+        batch = BatchQuery(
+            queries=(Query("online-bcc", ("ql", "qr")),),
+            config=SearchConfig(k1=99, k2=99),
+        )
+        responses = BCCEngine(paper_graph).search_many(batch)
+        assert responses[0].status == STATUS_EMPTY
+
+    def test_member_query_config_beats_batch_config(self, paper_graph):
+        batch = BatchQuery(
+            queries=(
+                Query("online-bcc", ("ql", "qr")),  # inherits batch config
+                Query(
+                    "online-bcc",
+                    ("ql", "qr"),
+                    config=SearchConfig(k1=4, k2=3),  # its own config wins
+                ),
+            ),
+            config=SearchConfig(k1=99, k2=99),
+        )
+        inherited, own = BCCEngine(paper_graph).search_many(batch)
+        assert inherited.status == STATUS_EMPTY
+        assert own.status == STATUS_OK
+
+    def test_call_config_overrides_batch_and_member_configs(self, paper_graph):
+        batch = BatchQuery(
+            queries=(
+                Query(
+                    "online-bcc", ("ql", "qr"), config=SearchConfig(k1=99, k2=99)
+                ),
+            ),
+            config=SearchConfig(k1=77, k2=77),
+        )
+        responses = BCCEngine(paper_graph).search_many(
+            batch, config=SearchConfig(k1=4, k2=3)
+        )
+        assert responses[0].status == STATUS_OK
+
+    def test_acceptance_warm_batch_freezes_and_indexes_at_most_once(self):
+        """Acceptance: >= 20 queries on a Table-3 synthetic network perform
+        the CSR freeze and the BCIndex build at most once (counters)."""
+        bundle = generate_baidu_network("tiny", seed=7)
+        assert not bundle.graph.has_frozen()
+        pairs = generate_query_pairs(bundle, QuerySpec(count=10), seed=1)
+        queries = [
+            Query(method, pair)
+            for pair in pairs
+            for method in ("online-bcc", "lp-bcc", "l2p-bcc")
+        ]
+        assert len(queries) >= 20
+        engine = BCCEngine(bundle.graph)
+        responses = engine.search_many(queries)
+        assert len(responses) == len(queries)
+        assert any(response.found for response in responses)
+        assert engine.counters["searches"] == len(queries)
+        # The whole batch paid preparation exactly once.
+        assert engine.counters["csr_freezes"] == 1
+        assert engine.counters["index_builds"] == 1
+        assert engine.counters["prepare_calls"] == 1
+        # Label groups were built at most once per label, not per query.
+        assert engine.counters["group_builds"] <= len(bundle.graph.labels())
+        # And only the first L2P-BCC query paid the index build.
+        index_payers = [
+            r for r in responses if r.timings["index_build_seconds"] > 0
+        ]
+        assert len(index_payers) == 1

@@ -1,0 +1,148 @@
+"""Parity suite: the prepared engine ≡ the legacy one-shot free functions.
+
+The engine introduces shared, reusable state (one CSR snapshot, cached
+label-group subgraphs, one BCindex) — this suite asserts over randomized
+labeled graphs that none of it changes any answer: for every method, a warm
+engine serving its Nth query returns exactly the community, iteration count
+and query distance of the legacy free function, and ``search_many`` equals
+sequential ``search``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.api import BCCEngine, Query, SearchConfig
+from repro.baselines.ctc import ctc_search
+from repro.baselines.psa import psa_search
+from repro.core.local_search import l2p_bcc_search
+from repro.core.lp_bcc import lp_bcc_search
+from repro.core.multilabel import mbcc_search
+from repro.core.online_bcc import online_bcc_search
+from repro.graph.generators import random_labeled_graph
+
+SEEDS = range(20)
+
+# method name -> (legacy one-shot callable, engine config) for a pair query.
+PAIR_METHODS = {
+    "online-bcc": (
+        lambda g, ql, qr: online_bcc_search(g, ql, qr, b=1, max_iterations=60),
+        SearchConfig(b=1, max_iterations=60),
+    ),
+    "lp-bcc": (
+        lambda g, ql, qr: lp_bcc_search(g, ql, qr, b=1, max_iterations=60),
+        SearchConfig(b=1, max_iterations=60),
+    ),
+    "l2p-bcc": (
+        lambda g, ql, qr: l2p_bcc_search(g, ql, qr, b=1, max_iterations=60),
+        SearchConfig(b=1, max_iterations=60),
+    ),
+    "ctc": (
+        lambda g, ql, qr: ctc_search(g, [ql, qr], max_iterations=60),
+        SearchConfig(max_iterations=60),
+    ),
+    "psa": (
+        lambda g, ql, qr: psa_search(g, [ql, qr]),
+        SearchConfig(),
+    ),
+}
+
+
+def _random_graph(seed, labels=("A", "B")):
+    rng = random.Random(91_000 + seed)
+    return random_labeled_graph(
+        rng.randint(8, 26), 0.15 + rng.random() * 0.35, list(labels), seed=seed
+    )
+
+
+def _cross_pair(graph):
+    for u, v in graph.cross_edges():
+        return (u, v)
+    return None
+
+
+class TestPairMethodParity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_engine_matches_every_legacy_function(self, seed):
+        graph = _random_graph(seed)
+        pair = _cross_pair(graph)
+        if pair is None:
+            pytest.skip("random graph has no cross edge")
+        q_left, q_right = pair
+        # One warm engine serves every method in turn, so later methods run
+        # with caches populated by earlier ones — parity must still be exact.
+        engine = BCCEngine(graph).prepare()
+        for method, (legacy, config) in PAIR_METHODS.items():
+            expected = legacy(graph, q_left, q_right)
+            response = engine.search(
+                Query(method, (q_left, q_right)), config=config
+            )
+            if expected is None:
+                assert not response.found, method
+                assert response.reason is not None, method
+            else:
+                assert response.found, method
+                assert response.vertices == set(expected.vertices), method
+                assert response.iterations == getattr(
+                    expected, "iterations", response.iterations
+                ), method
+                assert response.query_distance == pytest.approx(
+                    getattr(expected, "query_distance", response.query_distance)
+                ), method
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_repeated_engine_queries_are_stable(self, seed):
+        graph = _random_graph(seed)
+        pair = _cross_pair(graph)
+        if pair is None:
+            pytest.skip("random graph has no cross edge")
+        engine = BCCEngine(graph)
+        query = Query("lp-bcc", pair, config=SearchConfig(b=1, max_iterations=60))
+        first = engine.search(query)
+        second = engine.search(query)
+        assert first.status == second.status
+        assert first.vertices == second.vertices
+        assert first.iterations == second.iterations
+
+
+class TestMultilabelParity:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_mbcc_engine_matches_legacy(self, seed):
+        graph = _random_graph(seed, labels=("A", "B", "C"))
+        by_label = {}
+        for vertex in graph.vertices():
+            by_label.setdefault(graph.label(vertex), vertex)
+        if len(by_label) < 3:
+            pytest.skip("random graph does not span three labels")
+        query = tuple(by_label[label] for label in sorted(by_label))
+        expected = mbcc_search(graph, list(query), b=1, max_iterations=60)
+        response = BCCEngine(graph).prepare().search(
+            Query("mbcc", query, config=SearchConfig(b=1, max_iterations=60))
+        )
+        if expected is None:
+            assert not response.found
+        else:
+            assert response.found
+            assert response.vertices == set(expected.vertices)
+            assert response.iterations == expected.iterations
+
+
+class TestBatchParity:
+    def test_search_many_equals_sequential_search(self):
+        graphs = [_random_graph(seed) for seed in range(6)]
+        for graph in graphs:
+            pair = _cross_pair(graph)
+            if pair is None:
+                continue
+            queries = [
+                Query(method, pair, config=config)
+                for method, (_, config) in PAIR_METHODS.items()
+            ]
+            warm = BCCEngine(graph).search_many(queries)
+            cold = [BCCEngine(graph).search(query) for query in queries]
+            for got, want in zip(warm, cold):
+                assert got.status == want.status, got.method
+                assert got.vertices == want.vertices, got.method
+                assert got.iterations == want.iterations, got.method

@@ -1,0 +1,111 @@
+"""Unit tests for the method registry and its dispatch metadata."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    BCCEngine,
+    Query,
+    get_method,
+    method_names,
+    register_method,
+    registered_methods,
+    unregister_method,
+)
+from repro.exceptions import QueryError, UnknownMethodError
+
+
+class TestBuiltins:
+    def test_paper_figure_order(self):
+        assert method_names(kinds=("baseline", "bcc")) == [
+            "PSA",
+            "CTC",
+            "Online-BCC",
+            "LP-BCC",
+            "L2P-BCC",
+        ]
+        assert method_names(kinds=("multilabel",)) == ["mBCC"]
+
+    def test_lookup_is_case_insensitive_over_all_names(self):
+        for key in ("lp-bcc", "LP-BCC", "Lp-Bcc", "lp"):
+            assert get_method(key).name == "lp-bcc"
+        assert get_method("Online-BCC").name == "online-bcc"
+        assert get_method("mbcc").kind == "multilabel"
+
+    def test_unknown_method_raises_value_error(self):
+        with pytest.raises(ValueError):
+            get_method("Louvain")
+        with pytest.raises(UnknownMethodError) as excinfo:
+            get_method("Louvain")
+        assert isinstance(excinfo.value, QueryError)
+        assert "L2P-BCC" in str(excinfo.value)
+
+    def test_metadata_flags(self):
+        assert get_method("l2p-bcc").needs_index is True
+        assert get_method("lp-bcc").needs_index is False
+        # CTC opts out of the symmetric-k sweeps (it uses max trussness).
+        assert get_method("ctc").symmetric_k is False
+        assert get_method("psa").symmetric_k is True
+
+    def test_registered_methods_filtering(self):
+        kinds = {spec.kind for spec in registered_methods()}
+        assert kinds == {"baseline", "bcc", "multilabel"}
+        assert all(s.kind == "bcc" for s in registered_methods(kinds=("bcc",)))
+
+
+class TestCustomRegistration:
+    def test_register_dispatch_and_unregister(self, simple_two_label_graph):
+        calls = []
+
+        @register_method("echo", display="Echo", kind="baseline")
+        def _echo(engine, query, config, instrumentation):
+            calls.append(query.vertices)
+
+            class _Result:
+                vertices = set(query.vertices)
+
+            return _Result()
+
+        try:
+            assert "Echo" in method_names()
+            engine = BCCEngine(simple_two_label_graph)
+            response = engine.search(Query("echo", ("a", "x")))
+            assert response.found
+            assert response.vertices == {"a", "x"}
+            assert calls == [("a", "x")]
+        finally:
+            unregister_method("echo")
+        assert "Echo" not in method_names()
+        with pytest.raises(ValueError):
+            get_method("echo")
+
+    def test_duplicate_name_rejected(self):
+        @register_method("dup-test", kind="baseline")
+        def _first(engine, query, config, instrumentation):
+            return None
+
+        try:
+            with pytest.raises(ValueError):
+
+                @register_method("dup-test", kind="baseline")
+                def _second(engine, query, config, instrumentation):
+                    return None
+
+        finally:
+            unregister_method("dup-test")
+
+    def test_alias_collision_rejected(self):
+        with pytest.raises(ValueError):
+
+            @register_method("fresh-name", aliases=("lp-bcc",), kind="baseline")
+            def _colliding(engine, query, config, instrumentation):
+                return None
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            register_method("bad-kind", kind="quantum")
+
+    def test_unregister_unknown_raises(self):
+        with pytest.raises(UnknownMethodError):
+            unregister_method("never-registered")

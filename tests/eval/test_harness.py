@@ -100,6 +100,139 @@ class TestEvaluateMethods:
         assert row[1] == "PSA"
 
 
+class TestRegistryDispatch:
+    def test_method_names_derive_from_registry(self):
+        from repro.api import method_names
+
+        assert METHOD_NAMES == method_names(kinds=("baseline", "bcc"))
+        assert BCC_METHOD_NAMES == method_names(kinds=("bcc",))
+
+    def test_run_method_accepts_canonical_names_and_aliases(self, tiny_baidu_bundle):
+        q_left, q_right = tiny_baidu_bundle.default_query()
+        for name in ("lp-bcc", "LP-BCC", "lp"):
+            outcome = run_method(name, tiny_baidu_bundle, q_left, q_right, b=1)
+            assert outcome.found
+
+    def test_registering_a_method_extends_the_harness(self, tiny_baidu_bundle):
+        from repro.api import method_names, register_method, unregister_method
+
+        @register_method("noop-bcc", display="Noop-BCC", kind="bcc")
+        def _noop(engine, query, config, instrumentation):
+            class _Result:
+                vertices = set(query.vertices)
+
+            return _Result()
+
+        try:
+            # Adding a method is one decorator: the registry-derived name
+            # lists pick it up without touching the harness — including the
+            # live module attributes (served via module __getattr__).
+            from repro.eval import harness
+
+            assert "Noop-BCC" in method_names(kinds=("bcc",))
+            assert "Noop-BCC" in harness.METHOD_NAMES
+            assert "Noop-BCC" in harness.BCC_METHOD_NAMES
+            q_left, q_right = tiny_baidu_bundle.default_query()
+            outcome = run_method("Noop-BCC", tiny_baidu_bundle, q_left, q_right)
+            assert outcome.vertices == {q_left, q_right}
+        finally:
+            unregister_method("noop-bcc")
+
+    def test_caller_engine_config_honoured_unless_overridden(self, tiny_baidu_bundle):
+        from repro.api import BCCEngine, SearchConfig
+
+        q_left, q_right = tiny_baidu_bundle.default_query()
+        # An engine prepared with unreachable core parameters: when the
+        # harness caller omits b/k, the engine's base config must govern.
+        engine = BCCEngine(tiny_baidu_bundle.graph, SearchConfig(k1=10**6, k2=10**6))
+        outcome = run_method("LP-BCC", tiny_baidu_bundle, q_left, q_right, engine=engine)
+        assert not outcome.found
+        # An explicit symmetric k override replaces both core parameters,
+        # beating even explicit k1/k2 in the engine config (Fig. 8 sweeps
+        # must actually sweep when driven through a configured engine).
+        outcome = run_method(
+            "LP-BCC", tiny_baidu_bundle, q_left, q_right, k=2, engine=engine
+        )
+        assert outcome.found
+        engine2 = BCCEngine(tiny_baidu_bundle.graph, SearchConfig(b=1))
+        outcome = run_method(
+            "LP-BCC", tiny_baidu_bundle, q_left, q_right, b=1, engine=engine2
+        )
+        assert outcome.found
+
+    def test_baseline_missing_vertex_scores_as_unanswered(self, tiny_baidu_bundle):
+        import pytest as _pytest
+
+        from repro.exceptions import VertexNotFoundError
+
+        q_left, _ = tiny_baidu_bundle.default_query()
+        for method in ("CTC", "PSA"):
+            outcome = run_method(method, tiny_baidu_bundle, q_left, "ghost")
+            assert not outcome.found
+            assert outcome.reason == "missing-query-vertex"
+        with _pytest.raises(VertexNotFoundError):
+            run_method("LP-BCC", tiny_baidu_bundle, q_left, "ghost")
+
+    def test_run_method_reports_empty_status_and_reason(self, tiny_baidu_bundle):
+        q_left, q_right = tiny_baidu_bundle.default_query()
+        outcome = run_method(
+            "Online-BCC", tiny_baidu_bundle, q_left, q_right, k=10**6
+        )
+        assert not outcome.found
+        assert outcome.status == "empty"
+        assert outcome.reason == "no-candidate"
+        assert outcome.f1 == 0.0
+
+
+class TestTimingSplit:
+    def test_cold_l2p_reports_index_build_separately(self, tiny_baidu_bundle):
+        q_left, q_right = tiny_baidu_bundle.default_query()
+        outcome = run_method("L2P-BCC", tiny_baidu_bundle, q_left, q_right, b=1)
+        # A throwaway engine builds the BCindex during the call, but the cost
+        # is reported apart from query time instead of silently inflating it.
+        assert outcome.index_seconds > 0
+        assert outcome.seconds >= 0
+
+    def test_warm_engine_pays_index_once(self, tiny_baidu_bundle):
+        from repro.api import BCCEngine
+
+        engine = BCCEngine(tiny_baidu_bundle.graph)
+        q_left, q_right = tiny_baidu_bundle.default_query()
+        first = run_method(
+            "L2P-BCC", tiny_baidu_bundle, q_left, q_right, b=1, engine=engine
+        )
+        second = run_method(
+            "L2P-BCC", tiny_baidu_bundle, q_left, q_right, b=1, engine=engine
+        )
+        assert first.index_seconds > 0
+        assert second.index_seconds == 0.0
+        assert first.vertices == second.vertices
+        assert engine.counters["index_builds"] == 1
+
+    def test_caller_supplied_index_keeps_seconds_pure(self, tiny_baidu_bundle):
+        q_left, q_right = tiny_baidu_bundle.default_query()
+        index = BCIndex(tiny_baidu_bundle.graph)
+        outcome = run_method(
+            "L2P-BCC", tiny_baidu_bundle, q_left, q_right, b=1, index=index
+        )
+        assert outcome.found
+        assert outcome.index_seconds == 0.0
+
+    def test_evaluate_methods_aggregates_index_seconds(self, tiny_baidu_bundle):
+        summaries = evaluate_methods(
+            tiny_baidu_bundle,
+            methods=["L2P-BCC", "PSA"],
+            spec=QuerySpec(count=2),
+            seed=4,
+            share_index=True,
+        )
+        # The shared engine builds the BCindex lazily exactly once; the cost
+        # is surfaced in the triggering method's index_seconds (never in
+        # avg_seconds) and methods that don't use the index pay nothing.
+        assert summaries["L2P-BCC"].index_seconds > 0
+        assert summaries["PSA"].index_seconds == 0.0
+
+
 class TestEvaluateMultilabel:
     def test_multilabel_summary(self):
         from repro.datasets import generate_baidu_network
