@@ -13,10 +13,11 @@ BCindex) and serves many queries; the legacy free functions
 """
 
 from repro.api.config import BACKENDS, SearchConfig
-from repro.api.engine import BCCEngine
+from repro.api.engine import ON_ERROR_POLICIES, BCCEngine
 from repro.api.oneshot import one_shot_search
 from repro.api.query import (
     STATUS_EMPTY,
+    STATUS_ERROR,
     STATUS_OK,
     BatchQuery,
     Query,
@@ -40,8 +41,10 @@ __all__ = [
     "BCCEngine",
     "BatchQuery",
     "MethodSpec",
+    "ON_ERROR_POLICIES",
     "Query",
     "STATUS_EMPTY",
+    "STATUS_ERROR",
     "STATUS_OK",
     "SearchConfig",
     "SearchResponse",

@@ -115,6 +115,19 @@ class SearchConfig:
         """Return a copy with ``changes`` applied (validation re-runs)."""
         return dataclasses.replace(self, **changes)
 
+    def cache_key(self) -> Tuple[object, ...]:
+        """Return a hashable tuple of every field, for result-cache keys.
+
+        Two equal configs produce the same key, so ``BCCEngine``'s
+        per-engine result cache can key one entry on
+        ``(method, vertices, resolved config, graph version)``.  Explicit
+        field order (rather than relying on ``__hash__``) keeps the key
+        stable and self-describing.
+        """
+        return tuple(
+            getattr(self, f.name) for f in dataclasses.fields(self)
+        )
+
     def effective_k1(self) -> Optional[int]:
         """``k1``, falling back to the symmetric ``k`` override."""
         return self.k1 if self.k1 is not None else self.k

@@ -10,25 +10,44 @@ queries through the method registry.  Unlike the legacy one-shot functions it
   per query on the one-shot path — each group (and the warm CSR snapshot its
   own kernels freeze) is built once per engine;
 * :meth:`ensure_index` lazily builds one reusable BCindex for the
-  index-based methods, timing the build separately from query time.
+  index-based methods, timing the build separately from query time;
+* repeated queries are answered from a bounded LRU result cache keyed on
+  ``(method, vertices, resolved config, graph version)`` — bypassable per
+  call with ``use_cache=False`` and sized via ``result_cache_size``.
+
+The engine is safe to serve from multiple threads: each fill-once cache
+(CSR freeze, label groups, BCindex) is guarded by its own lock with a
+double-checked fill, so a ``search_many(..., max_workers=8)`` batch still
+performs each preparation step exactly once, and ``counters`` increments are
+lock-protected.  Mutating the *graph* while queries are in flight remains
+undefined; mutations between calls are detected per serving call and
+invalidate every cache exactly once (counted in ``counters["invalidations"]``).
 
 ``counters`` records how often each preparation step actually ran, so tests
 (and operators) can assert the amortization: a ``search_many`` batch over an
 unmutated graph performs the CSR freeze and the BCindex build at most once.
 
 The engine answers "no community" with a ``SearchResponse`` of
-``status="empty"`` and a machine-readable ``reason`` — malformed queries
-still raise (:class:`repro.exceptions.QueryError` and friends).
+``status="empty"`` and a machine-readable ``reason``.  Malformed queries
+raise from :meth:`search` (:class:`repro.exceptions.QueryError` and friends);
+:meth:`search_many` additionally offers ``on_error="return"``, which converts
+a per-query failure into a position-aligned ``status="error"`` response
+instead of aborting the batch.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import threading
 import time
-from typing import Dict, Iterable, List, Optional, Union
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.api.config import SearchConfig
 from repro.api.query import (
     STATUS_EMPTY,
+    STATUS_ERROR,
     STATUS_OK,
     BatchQuery,
     Query,
@@ -39,12 +58,35 @@ from repro.core.bc_index import BCIndex
 from repro.core.bcc_model import BCCParameters, resolve_query_labels
 from repro.core.multilabel import resolve_mbcc_parameters, validate_mbcc_query
 from repro.eval.instrumentation import SearchInstrumentation
-from repro.exceptions import EmptyCommunityError
+from repro.exceptions import (
+    REASON_INVALID_QUERY,
+    REASON_MISSING_VERTEX,
+    REASON_UNKNOWN_METHOD,
+    EmptyCommunityError,
+    QueryError,
+    UnknownMethodError,
+    VertexNotFoundError,
+)
 from repro.graph.labeled_graph import Label, LabeledGraph
+
+#: ``search_many`` error policies.
+ON_ERROR_POLICIES = ("raise", "return")
+
+#: Default capacity of the per-engine LRU result cache (entries).
+DEFAULT_RESULT_CACHE_SIZE = 128
+
+
+def _error_message(exc: BaseException) -> str:
+    """The exception message, unwrapping KeyError's repr-quoting."""
+    # VertexNotFoundError subclasses KeyError, whose str() wraps the message
+    # in quotes; the original message is always the first argument.
+    if exc.args and isinstance(exc.args[0], str):
+        return exc.args[0]
+    return str(exc)
 
 
 class BCCEngine:
-    """A long-lived search engine over one labeled graph.
+    """A long-lived, thread-safe search engine over one labeled graph.
 
     Parameters
     ----------
@@ -57,10 +99,17 @@ class BCCEngine:
     index:
         Optional pre-built :class:`BCIndex` to reuse; when omitted one is
         built lazily the first time an index-based method runs.
+    result_cache_size:
+        Capacity of the LRU result cache (0 disables it).  Cached responses
+        are keyed on ``(method, vertices, resolved config, graph version)``
+        and replayed with fresh timings; hits and misses are counted in
+        ``counters``.
 
     The engine assumes a *serving* graph: searches never mutate it, and the
     caches stay warm across queries.  If the graph is mutated anyway, the
-    engine detects the version change and transparently rebuilds its caches.
+    engine detects the version change at the next serving call and
+    transparently rebuilds its caches (mutating the graph while another
+    thread is mid-search is not supported).
     """
 
     def __init__(
@@ -68,11 +117,14 @@ class BCCEngine:
         graph: Union[LabeledGraph, object],
         config: Optional[SearchConfig] = None,
         index: Optional[BCIndex] = None,
+        result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE,
     ) -> None:
         if not isinstance(graph, LabeledGraph):
             graph = getattr(graph, "graph", graph)
         if not isinstance(graph, LabeledGraph):
             raise TypeError(f"expected a LabeledGraph or bundle, got {type(graph)!r}")
+        if result_cache_size < 0:
+            raise ValueError("result_cache_size must be non-negative")
         self.graph: LabeledGraph = graph
         self.config: SearchConfig = config if config is not None else SearchConfig()
         self._index: Optional[BCIndex] = index
@@ -80,38 +132,81 @@ class BCCEngine:
         self._graph_version: int = graph.version()
         self._prepared: bool = False
         self._index_build_seconds: float = 0.0
+        # Per-thread attribution of index-build time: each query runs on one
+        # thread, so only the query whose thread performed the build reports
+        # a non-zero index_build_seconds — diffing the shared accumulator
+        # would charge the build to every query overlapping it (and push
+        # their query_seconds negative) under a threaded batch.
+        self._tls = threading.local()
+        self._result_cache_size: int = result_cache_size
+        self._result_cache: "OrderedDict[Tuple, SearchResponse]" = OrderedDict()
+        # Per-cache locks: each fill-once cache fills under its own lock via
+        # a double-checked pattern, so concurrent serving threads perform
+        # every preparation step exactly once.  Lock order (outermost first)
+        # is index -> version -> groups; freeze / cache / counter locks are
+        # leaves, never held while acquiring another lock.
+        self._freeze_lock = threading.Lock()
+        self._groups_lock = threading.Lock()
+        self._index_lock = threading.Lock()
+        self._version_lock = threading.Lock()
+        self._cache_lock = threading.Lock()
+        self._counters_lock = threading.Lock()
         self.counters: Dict[str, int] = {
             "prepare_calls": 0,
             "csr_freezes": 0,
             "index_builds": 0,
             "group_builds": 0,
             "searches": 0,
+            "invalidations": 0,
+            "result_cache_hits": 0,
+            "result_cache_misses": 0,
         }
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        """Thread-safe counter increment (``+=`` on a dict slot is not)."""
+        with self._counters_lock:
+            self.counters[name] += amount
 
     # ------------------------------------------------------------------
     # prepared state
     # ------------------------------------------------------------------
     def _check_version(self) -> None:
-        """Invalidate every cache when the underlying graph was mutated."""
-        version = self.graph.version()
-        if version != self._graph_version:
+        """Invalidate every cache when the underlying graph was mutated.
+
+        Double-checked under the version lock so one mutation triggers
+        exactly one invalidation no matter how many serving threads observe
+        it; the rebuilds themselves then run once under their cache locks.
+        """
+        if self.graph.version() == self._graph_version:
+            return
+        with self._version_lock:
+            version = self.graph.version()
+            if version == self._graph_version:
+                return
             self._graph_version = version
-            self._groups.clear()
+            with self._groups_lock:
+                self._groups.clear()
             self._index = None
             self._prepared = False
+            with self._cache_lock:
+                self._result_cache.clear()
+            self._count("invalidations")
 
     def prepare(self) -> "BCCEngine":
         """Freeze the graph's CSR snapshot so every query serves warm.
 
         Idempotent on an unmutated graph: the freeze is performed (and
-        counted) only when no current snapshot exists.  Returns ``self`` so
+        counted) only when no current snapshot exists, at most once even
+        under thread contention.  Returns ``self`` so
         ``BCCEngine(graph).prepare()`` chains.
         """
         self._check_version()
-        self.counters["prepare_calls"] += 1
+        self._count("prepare_calls")
         if not self.graph.has_frozen():
-            self.graph.freeze()
-            self.counters["csr_freezes"] += 1
+            with self._freeze_lock:
+                if not self.graph.has_frozen():
+                    self.graph.freeze()
+                    self._count("csr_freezes")
         self._prepared = True
         return self
 
@@ -125,36 +220,48 @@ class BCCEngine:
 
         Algorithm 2 and the automatic parameter setting both consume
         label-induced subgraphs; caching them per engine means a batch of
-        queries builds each group once instead of twice per query.
+        queries builds each group once instead of twice per query.  The fill
+        is double-checked under the groups lock: concurrent queries on the
+        same label build the group exactly once.
         """
         self._check_version()
         subgraph = self._groups.get(label)
         if subgraph is None:
-            subgraph = self.graph.label_induced_subgraph(label)
-            self._groups[label] = subgraph
-            self.counters["group_builds"] += 1
+            with self._groups_lock:
+                subgraph = self._groups.get(label)
+                if subgraph is None:
+                    subgraph = self.graph.label_induced_subgraph(label)
+                    self._groups[label] = subgraph
+                    self._count("group_builds")
         return subgraph
 
     def ensure_index(self) -> BCIndex:
         """Return the engine's BCindex, building it once on first use.
 
-        Build time is accumulated separately so :meth:`search` can report
-        ``index_build_seconds`` apart from ``query_seconds``.
+        The build runs under the index lock, so concurrent index-based
+        queries block until the single build finishes instead of racing a
+        second one.  Build time is accumulated separately so :meth:`search`
+        can report ``index_build_seconds`` apart from ``query_seconds``.
         """
         self._check_version()
-        if self._index is None:
-            self._index = BCIndex(
-                self.graph,
-                build=False,
-                backend=self.config.backend,
-                groups=self.group,
-            )
-        if not self._index.is_built():
-            start = time.perf_counter()
-            self._index.build()
-            self._index_build_seconds += time.perf_counter() - start
-            self.counters["index_builds"] += 1
-        return self._index
+        with self._index_lock:
+            if self._index is None:
+                self._index = BCIndex(
+                    self.graph,
+                    build=False,
+                    backend=self.config.backend,
+                    groups=self.group,
+                )
+            if not self._index.is_built():
+                start = time.perf_counter()
+                self._index.build()
+                build_seconds = time.perf_counter() - start
+                self._index_build_seconds += build_seconds
+                self._tls.index_seconds = (
+                    getattr(self._tls, "index_seconds", 0.0) + build_seconds
+                )
+                self._count("index_builds")
+            return self._index
 
     @property
     def index(self) -> BCIndex:
@@ -164,7 +271,52 @@ class BCCEngine:
     def has_index(self) -> bool:
         """Return ``True`` when a current, built BCindex is attached."""
         self._check_version()
-        return self._index is not None and self._index.is_built()
+        index = self._index
+        return index is not None and index.is_built()
+
+    # ------------------------------------------------------------------
+    # result cache
+    # ------------------------------------------------------------------
+    def _cache_get(self, key: Tuple) -> Optional[SearchResponse]:
+        """LRU lookup: a hit moves the entry to the fresh end."""
+        with self._cache_lock:
+            response = self._result_cache.get(key)
+            if response is not None:
+                self._result_cache.move_to_end(key)
+            return response
+
+    def _cache_put(self, key: Tuple, response: SearchResponse) -> None:
+        """Insert, evicting the least recently used entry beyond capacity."""
+        with self._cache_lock:
+            self._result_cache[key] = response
+            self._result_cache.move_to_end(key)
+            while len(self._result_cache) > self._result_cache_size:
+                self._result_cache.popitem(last=False)
+
+    def result_cache_len(self) -> int:
+        """Number of responses currently cached."""
+        with self._cache_lock:
+            return len(self._result_cache)
+
+    @staticmethod
+    def _replay(cached: SearchResponse, elapsed: float) -> SearchResponse:
+        """A cache hit as a fresh response: shared result, own timings.
+
+        The member set is copied so callers mutating a response cannot
+        corrupt the cache; the (treated-as-immutable) native result object
+        is shared.
+        """
+        return dataclasses.replace(
+            cached,
+            vertices=set(cached.vertices),
+            timings={
+                "total_seconds": elapsed,
+                "index_build_seconds": 0.0,
+                "query_seconds": elapsed,
+                "cache_hit": 1.0,
+            },
+            instrumentation=None,
+        )
 
     # ------------------------------------------------------------------
     # serving
@@ -185,21 +337,43 @@ class BCCEngine:
         *,
         config: Optional[SearchConfig] = None,
         instrumentation: Optional[SearchInstrumentation] = None,
+        use_cache: bool = True,
     ) -> SearchResponse:
         """Serve one query and return a uniform :class:`SearchResponse`.
 
         "No community" is a normal answer (``status="empty"`` with a
         machine-readable ``reason``); malformed queries raise.
+
+        Repeated queries are answered from the engine's LRU result cache
+        (same method, vertices, resolved config and graph version) with
+        fresh timings carrying a ``cache_hit`` marker.  ``use_cache=False``
+        bypasses the cache for this call, and a caller-supplied
+        ``instrumentation`` does too — the caller wants the algorithm's
+        counters, so the algorithm actually runs.
         """
         self._check_version()
         spec = get_method(query.method)
         cfg = self._resolve_config(query, config)
+        cache_key: Optional[Tuple] = None
+        if use_cache and self._result_cache_size > 0 and instrumentation is None:
+            cache_key = (
+                spec.name,
+                query.vertices,
+                cfg.cache_key(),
+                self._graph_version,
+            )
+            lookup_start = time.perf_counter()
+            cached = self._cache_get(cache_key)
+            if cached is not None:
+                self._count("searches")
+                self._count("result_cache_hits")
+                return self._replay(cached, time.perf_counter() - lookup_start)
         inst = (
             instrumentation
             if instrumentation is not None
             else SearchInstrumentation()
         )
-        index_seconds_before = self._index_build_seconds
+        self._tls.index_seconds = 0.0
         start = time.perf_counter()
         reason: Optional[str] = None
         try:
@@ -212,10 +386,10 @@ class BCCEngine:
         elapsed = time.perf_counter() - start
         # Counted only for queries that produce a response; malformed
         # queries raise above and are not "served" searches.
-        self.counters["searches"] += 1
-        index_seconds = self._index_build_seconds - index_seconds_before
+        self._count("searches")
+        index_seconds = self._tls.index_seconds
         vertices = set(result.vertices) if result is not None else set()
-        return SearchResponse(
+        response = SearchResponse(
             method=spec.name,
             query=query.vertices,
             status=status,
@@ -229,6 +403,39 @@ class BCCEngine:
             },
             instrumentation=inst,
         )
+        if cache_key is not None:
+            self._count("result_cache_misses")
+            self._cache_put(cache_key, response)
+        return response
+
+    @staticmethod
+    def _is_caller_error(query: Query, exc: Exception) -> bool:
+        """Whether ``exc`` is the *query's* fault (eligible for ``"return"``).
+
+        A :class:`VertexNotFoundError` naming a vertex that is not a query
+        vertex escaped from deep inside a runner — an implementation bug,
+        not a malformed query — and must propagate, never be converted into
+        a per-query error row.
+        """
+        if isinstance(exc, VertexNotFoundError):
+            return getattr(exc, "vertex", None) in query.vertices
+        return isinstance(exc, QueryError)
+
+    def _error_response(self, query: Query, exc: Exception) -> SearchResponse:
+        """A position-aligned ``status="error"`` response for a failed query."""
+        if isinstance(exc, VertexNotFoundError):
+            reason = REASON_MISSING_VERTEX
+        elif isinstance(exc, UnknownMethodError):
+            reason = REASON_UNKNOWN_METHOD
+        else:
+            reason = REASON_INVALID_QUERY
+        return SearchResponse(
+            method=query.method,
+            query=query.vertices,
+            status=STATUS_ERROR,
+            reason=reason,
+            error=_error_message(exc),
+        )
 
     def search_many(
         self,
@@ -236,41 +443,92 @@ class BCCEngine:
         *,
         config: Optional[SearchConfig] = None,
         instrumentation: Optional[SearchInstrumentation] = None,
+        on_error: str = "raise",
+        max_workers: int = 1,
+        use_cache: bool = True,
     ) -> List[SearchResponse]:
         """Serve a batch of queries over one warm snapshot.
 
         The engine prepares once (CSR freeze; label groups and the BCindex
-        fill lazily and are reused), then answers the queries in order.
-        Responses are position-aligned with the input and each query equals
-        its sequential :meth:`search` answer exactly.
+        fill lazily and are reused), then answers the queries.  Responses
+        are position-aligned with the input and each query equals its
+        sequential :meth:`search` answer exactly, whatever ``max_workers``.
 
         Config precedence per query: the ``config`` argument of this call,
         then the query's own config, then the batch's shared config, then
         the engine base.
 
-        A caller-supplied ``instrumentation`` is shared by the whole batch
-        and therefore aggregates counters across every query; leave it
-        ``None`` to give each response its own per-search counters.
+        ``on_error`` is the per-query failure policy.  With ``"raise"`` (the
+        default, and :meth:`search`'s behavior) a malformed query raises
+        :class:`repro.exceptions.QueryError` /
+        :class:`repro.exceptions.VertexNotFoundError` and aborts the batch.
+        With ``"return"`` the failure becomes a position-aligned
+        ``status="error"`` response (machine-readable ``reason`` plus the
+        exception message in ``error``) and the rest of the batch still
+        runs.  Batch-structure errors — a member that is not a
+        :class:`Query` at all — always raise, naming the offending index,
+        and so does a :class:`VertexNotFoundError` for a *non-query* vertex
+        (an implementation bug escaping a runner, not a caller error).
 
-        Malformed queries raise exactly as :meth:`search` does, aborting the
-        batch at the offending query (validate inputs first — or pre-flight
-        with :meth:`explain` — when partial results matter).
+        ``max_workers > 1`` serves the batch from a thread pool over the
+        warm snapshot; the engine's caches fill exactly once under their
+        locks.  Under ``on_error="raise"`` the earliest-position failure is
+        raised after in-flight queries finish.  Note that CPython's GIL
+        serializes the pure-Python kernels, so threads help when a kernel
+        releases the GIL or queries hit the result cache — not for raw
+        single-core compute.
+
+        A caller-supplied ``instrumentation`` is shared by the whole batch
+        and therefore aggregates counters across every query (use
+        ``max_workers=1`` with it — the counters are not merged atomically);
+        leave it ``None`` to give each response its own per-search counters.
         """
+        if on_error not in ON_ERROR_POLICIES:
+            raise QueryError(
+                f"unknown on_error policy {on_error!r}; known: {ON_ERROR_POLICIES}"
+            )
+        if max_workers < 1:
+            raise QueryError("max_workers must be >= 1")
         batch_config: Optional[SearchConfig] = None
         if isinstance(queries, BatchQuery):
             batch_config = queries.config
-        items = list(queries)
+            items: List[Query] = list(queries)  # validated in __post_init__
+        else:
+            # Same member-type guarantee as BatchQuery.__post_init__ for
+            # plain iterables: one validator owns the rule, and a bad member
+            # fails up front with its index, not deep inside a worker with
+            # an opaque AttributeError.
+            items = list(BatchQuery(queries=tuple(queries)).queries)
         if items and not self.is_prepared():
             self.prepare()
-        responses: List[SearchResponse] = []
-        for query in items:
-            effective = config
-            if effective is None and query.config is None:
-                effective = batch_config
-            responses.append(
-                self.search(query, config=effective, instrumentation=instrumentation)
-            )
-        return responses
+
+        def effective_config(query: Query) -> Optional[SearchConfig]:
+            if config is None and query.config is None:
+                return batch_config
+            return config
+
+        def serve(query: Query) -> SearchResponse:
+            try:
+                return self.search(
+                    query,
+                    config=effective_config(query),
+                    instrumentation=instrumentation,
+                    use_cache=use_cache,
+                )
+            except (QueryError, VertexNotFoundError) as exc:
+                if on_error == "raise" or not self._is_caller_error(query, exc):
+                    raise
+                return self._error_response(query, exc)
+
+        if max_workers > 1 and len(items) > 1:
+            with ThreadPoolExecutor(
+                max_workers=min(max_workers, len(items))
+            ) as pool:
+                # map() yields in submission order, so responses stay
+                # position-aligned and an on_error="raise" failure surfaces
+                # at its earliest position.
+                return list(pool.map(serve, items))
+        return [serve(query) for query in items]
 
     # ------------------------------------------------------------------
     # introspection
@@ -288,6 +546,12 @@ class BCCEngine:
         self._check_version()
         spec = get_method(query.method)
         cfg = self._resolve_config(query, config)
+        with self._counters_lock:
+            counters = dict(self.counters)
+        with self._groups_lock:
+            # Snapshot: iterating the live dict would race concurrent
+            # group fills ("dictionary changed size during iteration").
+            cached_groups = list(self._groups)
         info: Dict[str, object] = {
             "method": {
                 "name": spec.name,
@@ -301,8 +565,10 @@ class BCCEngine:
                 "prepared": self._prepared,
                 "csr_frozen": self.graph.has_frozen(),
                 "index_built": self.has_index(),
-                "cached_groups": sorted(str(label) for label in self._groups),
-                "counters": dict(self.counters),
+                "cached_groups": sorted(str(label) for label in cached_groups),
+                "result_cache_entries": self.result_cache_len(),
+                "index_build_seconds_total": self._index_build_seconds,
+                "counters": counters,
             },
         }
         info["resolved"] = self._resolve_parameters(spec, query, cfg)

@@ -32,16 +32,19 @@ def one_shot_search(
     """Serve one query on a throwaway engine, returning the native result.
 
     Methods registered with ``missing_vertex_is_empty`` (the CTC/PSA
-    baselines' historical contract) translate an unknown query vertex into
-    ``None`` here; the engine itself always raises.
+    baselines' historical contract) translate an unknown *query* vertex into
+    ``None`` here; the engine itself always raises.  The query vertices are
+    validated explicitly up front — a :class:`VertexNotFoundError` raised
+    from deep inside a runner (a non-query vertex, i.e. an implementation
+    bug) propagates instead of being silently swallowed as "no community".
     """
     spec = get_method(method)
     engine = BCCEngine(graph, config, index=index)
     query = Query(method=spec.name, vertices=tuple(vertices))
-    try:
-        response = engine.search(query, instrumentation=instrumentation)
-    except VertexNotFoundError:
-        if spec.missing_vertex_is_empty:
+    if spec.missing_vertex_is_empty:
+        try:
+            engine.graph.require_vertices(query.vertices)
+        except VertexNotFoundError:
             return None
-        raise
+    response = engine.search(query, instrumentation=instrumentation)
     return response.result

@@ -11,13 +11,19 @@ instead of five result types and bare-``None`` conventions:
 * ``status == "empty"`` — no community satisfies the constraints; ``reason``
   carries a machine-readable code (``repro.exceptions.REASON_*``) instead of
   the bare ``None`` the legacy free functions return.
+* ``status == "error"`` — the query itself was bad (unknown vertex, wrong
+  arity, unknown method).  ``search`` still raises for these; only
+  ``search_many(on_error="return")`` produces error responses, so one
+  malformed query no longer aborts a whole batch.  ``reason`` carries the
+  machine-readable code and ``error`` the exception message.
 
 Malformed queries (unknown vertices, equal labels, bad parameters) still
-raise — they are caller errors, not empty answers.
+raise from ``search`` — they are caller errors, not empty answers.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, Optional, Set, Tuple
 
@@ -33,6 +39,7 @@ from repro.graph.labeled_graph import LabeledGraph, Vertex
 #: ``SearchResponse.status`` values.
 STATUS_OK = "ok"
 STATUS_EMPTY = "empty"
+STATUS_ERROR = "error"
 
 
 @dataclass(frozen=True)
@@ -84,6 +91,14 @@ class BatchQuery:
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "queries", tuple(self.queries))
+        for index, member in enumerate(self.queries):
+            # Catch non-Query members here, where the offending index is
+            # known, instead of failing later inside search_many with an
+            # opaque AttributeError.
+            if not isinstance(member, Query):
+                raise QueryError(
+                    f"batch member {index} is not a Query: {member!r}"
+                )
 
     def __iter__(self) -> Iterator[Query]:
         return iter(self.queries)
@@ -99,16 +114,22 @@ class SearchResponse:
     Attributes
     ----------
     method:
-        Canonical registry name of the method that ran.
+        Canonical registry name of the method that ran (the caller-supplied
+        name when the query failed before method resolution).
     query:
         The query vertices.
     status:
-        ``"ok"`` or ``"empty"``.
+        ``"ok"``, ``"empty"`` or ``"error"`` (the latter only from
+        ``search_many(on_error="return")``).
     result:
         The method-native result object (``BCCResult``, ``MBCCResult``,
-        ``CTCResult``, ``PSAResult``) — ``None`` when empty.
+        ``CTCResult``, ``PSAResult``) — ``None`` when empty or errored.
     reason:
-        Machine-readable empty-reason code (``None`` when ``status == "ok"``).
+        Machine-readable empty-/error-reason code (``None`` when
+        ``status == "ok"``).
+    error:
+        The underlying exception message for ``status == "error"``
+        responses; ``None`` otherwise.
     vertices:
         Community member set (empty set when no community exists).
     timings:
@@ -124,6 +145,7 @@ class SearchResponse:
     status: str
     result: Optional[object] = None
     reason: Optional[str] = None
+    error: Optional[str] = None
     vertices: Set[Vertex] = field(default_factory=set)
     timings: Dict[str, float] = field(default_factory=dict)
     instrumentation: Optional[SearchInstrumentation] = None
@@ -145,11 +167,27 @@ class SearchResponse:
 
     @property
     def query_distance(self) -> float:
-        """``dist(H, Q)`` of the returned community (0.0 when empty)."""
+        """``dist(H, Q)`` of the returned community.
+
+        ``math.inf`` for empty/error responses: a response without a
+        community is infinitely far from the query, not a *perfect* answer —
+        returning ``0.0`` here used to silently deflate harness averages.
+        """
+        if not self.found:
+            return math.inf
         return float(getattr(self.result, "query_distance", 0.0))
 
     def raise_for_empty(self) -> "SearchResponse":
-        """Raise :class:`EmptyCommunityError` when empty; return self otherwise."""
+        """Raise :class:`EmptyCommunityError` when empty; return self otherwise.
+
+        Error responses (from ``search_many(on_error="return")``) re-raise
+        the caller error as :class:`QueryError` instead.
+        """
+        if self.status == STATUS_ERROR:
+            raise QueryError(
+                self.error
+                or f"query {self.query!r} failed ({self.reason or 'error'})"
+            )
         if not self.found:
             raise EmptyCommunityError(
                 f"method {self.method!r} found no community for {self.query!r}",

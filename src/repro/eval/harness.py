@@ -15,10 +15,18 @@ the cost of building the shared BCindex is reported separately in
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.api import BCCEngine, Query, get_method, method_names
+from repro.api import (
+    STATUS_ERROR,
+    BCCEngine,
+    Query,
+    SearchResponse,
+    get_method,
+    method_names,
+)
 from repro.core.bc_index import BCIndex
 from repro.datasets.base import DatasetBundle
 from repro.eval.instrumentation import SearchInstrumentation
@@ -46,7 +54,14 @@ def __getattr__(name: str) -> List[str]:
 
 @dataclass
 class QueryOutcome:
-    """Result of one method on one query."""
+    """Result of one method on one query.
+
+    ``query_distance`` is the community's ``dist(H, Q)`` for answered
+    queries and ``math.inf`` otherwise — an unanswered query is infinitely
+    far from perfect, never distance 0.  ``status == "error"`` rows (batch
+    mode under ``on_error="return"``) carry the exception message in
+    ``error``.
+    """
 
     method: str
     query: Tuple[Vertex, ...]
@@ -58,11 +73,20 @@ class QueryOutcome:
     index_seconds: float = 0.0
     status: str = "ok"
     reason: Optional[str] = None
+    query_distance: float = math.inf
+    error: Optional[str] = None
 
 
 @dataclass
 class MethodSummary:
-    """Aggregate of one method over a workload (one bar in Fig. 4 / Fig. 5)."""
+    """Aggregate of one method over a workload (one bar in Fig. 4 / Fig. 5).
+
+    ``avg_query_distance`` averages only *answered* queries (empty/error
+    responses report ``math.inf`` and would previously have been folded in
+    as a perfect 0.0, deflating the mean); it is ``None`` when the method
+    answered nothing.  ``errors`` counts ``status == "error"`` rows from
+    batch mode.
+    """
 
     method: str
     dataset: str
@@ -72,6 +96,8 @@ class MethodSummary:
     avg_seconds: float = 0.0
     total_seconds: float = 0.0
     index_seconds: float = 0.0
+    errors: int = 0
+    avg_query_distance: Optional[float] = None
 
     def as_row(self) -> Tuple[str, str, int, int, float, float]:
         """Return (dataset, method, #queries, #answered, avg F1, avg seconds)."""
@@ -160,32 +186,69 @@ def run_method(
         # (k1=k2=k, as the pre-engine harness did), beating any k1/k2 in the
         # engine's base config; config.k alone would lose to explicit k1/k2.
         config = config.replace(k=k, k1=k, k2=k)
-    try:
-        response = engine.search(
-            Query(method=spec.name, vertices=(q_left, q_right)),
-            config=config,
-            instrumentation=instrumentation,
-        )
-    except VertexNotFoundError:
-        if not spec.missing_vertex_is_empty:
-            raise
+    if spec.missing_vertex_is_empty:
         # Historical harness contract: the label-agnostic baselines score a
-        # query with an unknown vertex as unanswered rather than erroring
+        # query naming an unknown vertex as unanswered rather than erroring
         # the whole workload (the BCC methods raise, as they always did).
+        # Validated explicitly up front — a VertexNotFoundError escaping a
+        # runner for a non-query vertex is an implementation bug and must
+        # propagate, not masquerade as "no community".
+        try:
+            engine.graph.require_vertices((q_left, q_right))
+        except VertexNotFoundError:
+            truth = bundle.community_for_query(q_left, q_right)
+            return QueryOutcome(
+                method=method,
+                query=(q_left, q_right),
+                found=False,
+                f1=0.0 if truth is not None else None,
+                instrumentation=instrumentation,
+                status="empty",
+                reason=REASON_MISSING_VERTEX,
+            )
+    response = engine.search(
+        Query(method=spec.name, vertices=(q_left, q_right)),
+        config=config,
+        instrumentation=instrumentation,
+        # Timing honesty: the harness measures the algorithm, so a warm
+        # caller engine's result cache must not turn a repeated query's
+        # seconds into cache-lookup time.
+        use_cache=False,
+    )
+    return _outcome_from_response(method, bundle, response)
+
+
+def _outcome_from_response(
+    method: str, bundle: DatasetBundle, response: SearchResponse
+) -> QueryOutcome:
+    """Score one engine response against the bundle's ground truth.
+
+    Error responses (batch mode under ``on_error="return"``) become error
+    rows: unanswered, unscored (``f1 is None``), with the failure preserved
+    in ``reason``/``error`` — except that a missing *query* vertex on a
+    ``missing_vertex_is_empty`` baseline keeps its historical "unanswered"
+    scoring.
+    """
+    q_left, q_right = response.query[0], response.query[-1]
+    if response.status == STATUS_ERROR:
+        spec = get_method(method)
+        missing_query_vertex = (
+            spec.missing_vertex_is_empty
+            and response.reason == REASON_MISSING_VERTEX
+        )
         truth = bundle.community_for_query(q_left, q_right)
         return QueryOutcome(
             method=method,
-            query=(q_left, q_right),
+            query=tuple(response.query),
             found=False,
-            f1=0.0 if truth is not None else None,
-            instrumentation=instrumentation,
-            status="empty",
-            reason=REASON_MISSING_VERTEX,
+            f1=(0.0 if truth is not None else None) if missing_query_vertex else None,
+            status="empty" if missing_query_vertex else STATUS_ERROR,
+            reason=response.reason,
+            error=None if missing_query_vertex else response.error,
         )
-
     outcome = QueryOutcome(
         method=method,
-        query=(q_left, q_right),
+        query=tuple(response.query),
         vertices=set(response.vertices),
         seconds=response.timings["query_seconds"],
         found=response.found,
@@ -193,11 +256,42 @@ def run_method(
         index_seconds=response.timings["index_build_seconds"],
         status=response.status,
         reason=response.reason,
+        query_distance=response.query_distance,
     )
     truth = bundle.community_for_query(q_left, q_right)
     if truth is not None:
         outcome.f1 = f1_score(outcome.vertices, truth.members) if outcome.found else 0.0
     return outcome
+
+
+def _summarize_outcomes(
+    method: str, dataset: str, outcomes: Sequence[QueryOutcome]
+) -> MethodSummary:
+    """Aggregate per-query outcomes into one :class:`MethodSummary`.
+
+    ``avg_query_distance`` averages answered queries only — unanswered and
+    errored queries report ``math.inf``, which must not be folded into (or
+    silently deflate, as the old 0.0 convention did) the mean.  Error rows
+    never ran the algorithm, so their placeholder 0.0 seconds are likewise
+    excluded from the timing aggregates.
+    """
+    f1_scores = [o.f1 for o in outcomes if o.f1 is not None]
+    times = [o.seconds for o in outcomes if o.status != STATUS_ERROR]
+    distances = [o.query_distance for o in outcomes if math.isfinite(o.query_distance)]
+    return MethodSummary(
+        method=method,
+        dataset=dataset,
+        queries=len(outcomes),
+        answered=sum(1 for o in outcomes if o.found),
+        avg_f1=average_f1(f1_scores),
+        avg_seconds=sum(times) / len(times) if times else 0.0,
+        total_seconds=sum(times),
+        index_seconds=sum(o.index_seconds for o in outcomes),
+        errors=sum(1 for o in outcomes if o.status == STATUS_ERROR),
+        avg_query_distance=(
+            sum(distances) / len(distances) if distances else None
+        ),
+    )
 
 
 def evaluate_methods(
@@ -208,6 +302,8 @@ def evaluate_methods(
     k: Optional[int] = None,
     b: int = 1,
     share_index: bool = True,
+    max_workers: int = 1,
+    on_error: str = "return",
 ) -> Dict[str, MethodSummary]:
     """Run several methods over a generated workload and aggregate per method.
 
@@ -216,11 +312,21 @@ def evaluate_methods(
     dataset's worth of Figure 4 (``avg_f1``) and Figure 5 (``avg_seconds``).
 
     With ``share_index`` (the default) one prepared engine serves every
-    query — the production path: the CSR snapshot, label groups and BCindex
-    are built once and reused (the single lazy BCindex build is reported in
-    the triggering method's ``index_seconds``, never in ``avg_seconds``).
-    Without it each query runs on a throwaway engine, so per-query
-    preparation cost lands in ``index_seconds``.
+    method's workload as a ``search_many`` batch — the production path: the
+    CSR snapshot, label groups and BCindex are built once and reused (the
+    single lazy BCindex build is reported in the triggering method's
+    ``index_seconds``, never in ``avg_seconds``), ``max_workers`` threads
+    serve the batch, and ``on_error`` is the engine's per-query policy —
+    the default ``"return"`` scores a failed query as an error row
+    (``MethodSummary.errors``) instead of aborting the evaluation.
+    Caveat: with ``max_workers > 1`` the per-query wall-clock timings
+    include scheduler/lock contention from concurrent queries, so
+    ``avg_seconds`` measures serving latency under load, not the
+    algorithm's single-threaded cost — keep the default ``max_workers=1``
+    when regenerating the paper's Figure-5 timings.
+    Without ``share_index`` each query runs sequentially on a throwaway
+    engine, so per-query preparation cost lands in ``index_seconds`` and
+    failures raise.
     """
     if methods is None:
         methods = method_names(kinds=_FIGURE_KINDS)
@@ -230,37 +336,40 @@ def evaluate_methods(
         engine = BCCEngine(bundle.graph).prepare()
     summaries: Dict[str, MethodSummary] = {}
     for method in methods:
-        f1_scores: List[float] = []
-        times: List[float] = []
-        index_times: List[float] = []
-        answered = 0
-        for q_left, q_right in pairs:
-            outcome = run_method(
-                method,
-                bundle,
-                q_left,
-                q_right,
-                k=k,
-                b=b,
-                max_iterations=200,
-                engine=engine,
+        outcomes: List[QueryOutcome] = []
+        if engine is not None:
+            method_spec = get_method(method)
+            config = engine.config.replace(b=b, max_iterations=200)
+            if k is not None and method_spec.symmetric_k:
+                config = config.replace(k=k, k1=k, k2=k)
+            responses = engine.search_many(
+                [Query(method=method_spec.name, vertices=pair) for pair in pairs],
+                config=config,
+                on_error=on_error,
+                max_workers=max_workers,
+                # Timing honesty: generated workloads regularly repeat a
+                # pair, and a result-cache hit would report lookup time as
+                # the algorithm's avg_seconds (the Figure-5 metric).
+                use_cache=False,
             )
-            times.append(outcome.seconds)
-            index_times.append(outcome.index_seconds)
-            if outcome.found:
-                answered += 1
-            if outcome.f1 is not None:
-                f1_scores.append(outcome.f1)
-        summaries[method] = MethodSummary(
-            method=method,
-            dataset=bundle.name,
-            queries=len(pairs),
-            answered=answered,
-            avg_f1=average_f1(f1_scores),
-            avg_seconds=sum(times) / len(times) if times else 0.0,
-            total_seconds=sum(times),
-            index_seconds=sum(index_times),
-        )
+            outcomes = [
+                _outcome_from_response(method, bundle, response)
+                for response in responses
+            ]
+        else:
+            for q_left, q_right in pairs:
+                outcomes.append(
+                    run_method(
+                        method,
+                        bundle,
+                        q_left,
+                        q_right,
+                        k=k,
+                        b=b,
+                        max_iterations=200,
+                    )
+                )
+        summaries[method] = _summarize_outcomes(method, bundle.name, outcomes)
     return summaries
 
 
@@ -289,8 +398,14 @@ def evaluate_multilabel(
         times: List[float] = []
         answered = 0
         for query in queries:
+            # use_cache=False: every BCC variant maps to the same mbcc
+            # runner, so the second method's identical (method, vertices,
+            # config) key would replay the first's answer in microseconds
+            # and corrupt the Exp-9/Exp-10 timing comparison.
             response = engine.search(
-                Query(method=run_as, vertices=tuple(query)), config=config
+                Query(method=run_as, vertices=tuple(query)),
+                config=config,
+                use_cache=False,
             )
             times.append(response.timings["query_seconds"])
             if response.found:

@@ -67,6 +67,12 @@ REASON_MISSING_VERTEX = "missing-query-vertex"
 REASON_NO_TRUSS = "no-truss"
 REASON_NO_CORE = "no-core"
 
+#: Machine-readable reasons surfaced on ``status="error"`` responses when
+#: ``BCCEngine.search_many(on_error="return")`` converts a per-query failure
+#: into a position-aligned error response instead of aborting the batch.
+REASON_INVALID_QUERY = "invalid-query"
+REASON_UNKNOWN_METHOD = "unknown-method"
+
 
 class EmptyCommunityError(ReproError):
     """Raised when no community satisfying the requested constraints exists.

@@ -4,19 +4,28 @@ from __future__ import annotations
 
 import pytest
 
+import math
+
 from repro.api import (
     STATUS_EMPTY,
+    STATUS_ERROR,
     STATUS_OK,
     BatchQuery,
     BCCEngine,
     Query,
     SearchConfig,
+    one_shot_search,
+    register_method,
+    unregister_method,
 )
 from repro.core.bc_index import BCIndex
 from repro.datasets import generate_baidu_network
 from repro.eval.queries import QuerySpec, generate_query_pairs
 from repro.exceptions import (
+    REASON_INVALID_QUERY,
+    REASON_MISSING_VERTEX,
     REASON_NO_CANDIDATE,
+    REASON_UNKNOWN_METHOD,
     EmptyCommunityError,
     QueryError,
     VertexNotFoundError,
@@ -57,6 +66,19 @@ class TestSearch:
         assert response.timings["total_seconds"] >= 0
         assert response.timings["query_seconds"] >= 0
         assert response.raise_for_empty() is response
+
+    def test_empty_response_query_distance_is_infinite(self, paper_graph):
+        """An empty answer is infinitely far from the query — reporting the
+        old 0.0 made it indistinguishable from a perfect community."""
+        engine = BCCEngine(paper_graph)
+        ok = engine.search(
+            Query("online-bcc", ("ql", "qr"), config=SearchConfig(k1=4, k2=3))
+        )
+        assert ok.found and math.isfinite(ok.query_distance)
+        empty = engine.search(
+            Query("lp-bcc", ("ql", "qr"), config=SearchConfig(k1=99, k2=99))
+        )
+        assert empty.query_distance == math.inf
 
     def test_empty_response_has_machine_readable_reason(self, paper_graph):
         engine = BCCEngine(paper_graph)
@@ -244,6 +266,14 @@ class TestSearchMany:
         )
         assert responses[0].status == STATUS_OK
 
+    def test_batch_rejects_non_query_members_with_index(self, paper_graph):
+        with pytest.raises(QueryError, match="member 1"):
+            BatchQuery(queries=(Query("ctc", ("ql",)), "not-a-query"))
+        # Same guarantee for a plain iterable handed straight to search_many
+        # (previously an opaque AttributeError deep inside the batch loop).
+        with pytest.raises(QueryError, match="member 0"):
+            BCCEngine(paper_graph).search_many(["ql", "qr"])
+
     def test_acceptance_warm_batch_freezes_and_indexes_at_most_once(self):
         """Acceptance: >= 20 queries on a Table-3 synthetic network perform
         the CSR freeze and the BCIndex build at most once (counters)."""
@@ -272,3 +302,214 @@ class TestSearchMany:
             r for r in responses if r.timings["index_build_seconds"] > 0
         ]
         assert len(index_payers) == 1
+
+
+class TestErrorPolicy:
+    """search_many(on_error=...): per-query failures vs batch aborts."""
+
+    def _mixed_batch(self):
+        return [
+            Query("lp-bcc", ("ql", "qr")),
+            Query("lp-bcc", ("ql", "ghost")),  # unknown vertex
+            Query("online-bcc", ("ql", "qr")),
+        ]
+
+    def test_default_raise_policy_aborts_like_search(self, paper_graph):
+        with pytest.raises(VertexNotFoundError):
+            BCCEngine(paper_graph).search_many(self._mixed_batch())
+
+    def test_return_policy_yields_position_aligned_error_row(self, paper_graph):
+        """Acceptance: a batch with one malformed query yields N aligned
+        responses with exactly one status="error"."""
+        batch = self._mixed_batch()
+        responses = BCCEngine(paper_graph).search_many(batch, on_error="return")
+        assert len(responses) == len(batch)
+        assert [r.status for r in responses] == [STATUS_OK, STATUS_ERROR, STATUS_OK]
+        error = responses[1]
+        assert error.reason == REASON_MISSING_VERTEX
+        assert "ghost" in error.error
+        assert error.result is None and error.vertices == set()
+        assert not error.found
+        assert error.query == ("ql", "ghost")
+        assert error.query_distance == math.inf
+        with pytest.raises(QueryError):
+            error.raise_for_empty()
+
+    def test_return_policy_classifies_failures(self, paper_graph):
+        responses = BCCEngine(paper_graph).search_many(
+            [
+                Query("no-such-method", ("ql", "qr")),
+                Query("lp-bcc", ("ql", "v1", "qr")),  # wrong arity
+                Query("mbcc", ("ql", "v1")),  # duplicate labels
+            ],
+            on_error="return",
+        )
+        assert [r.status for r in responses] == [STATUS_ERROR] * 3
+        assert responses[0].reason == REASON_UNKNOWN_METHOD
+        assert responses[1].reason == REASON_INVALID_QUERY
+        assert responses[2].reason == REASON_INVALID_QUERY
+        assert all(r.error for r in responses)
+
+    def test_return_policy_with_threads(self, paper_graph):
+        responses = BCCEngine(paper_graph).search_many(
+            self._mixed_batch(), on_error="return", max_workers=4
+        )
+        assert [r.status for r in responses] == [STATUS_OK, STATUS_ERROR, STATUS_OK]
+
+    def test_raise_policy_with_threads(self, paper_graph):
+        with pytest.raises(VertexNotFoundError):
+            BCCEngine(paper_graph).search_many(self._mixed_batch(), max_workers=4)
+
+    def test_unknown_policy_and_bad_workers_rejected(self, paper_graph):
+        engine = BCCEngine(paper_graph)
+        with pytest.raises(QueryError):
+            engine.search_many([], on_error="ignore")
+        with pytest.raises(QueryError):
+            engine.search_many([], max_workers=0)
+
+    def test_return_policy_does_not_mask_deep_missing_vertices(self, paper_graph):
+        """A VertexNotFoundError for a NON-query vertex is an implementation
+        bug escaping a runner — on_error="return" must not convert it into
+        a per-query error row."""
+
+        @register_method(
+            "deep-misser",
+            display="Deep-Misser",
+            kind="baseline",
+            missing_vertex_is_empty=True,
+        )
+        def _deep(engine, query, config, instrumentation):
+            raise VertexNotFoundError("internal-liaison-vertex")
+
+        try:
+            with pytest.raises(VertexNotFoundError, match="internal-liaison"):
+                BCCEngine(paper_graph).search_many(
+                    [Query("deep-misser", ("ql", "qr"))], on_error="return"
+                )
+        finally:
+            unregister_method("deep-misser")
+
+    def test_empty_answers_are_not_errors(self, paper_graph):
+        responses = BCCEngine(paper_graph).search_many(
+            [Query("lp-bcc", ("ql", "qr"), config=SearchConfig(k1=99, k2=99))],
+            on_error="return",
+        )
+        assert responses[0].status == STATUS_EMPTY
+        assert responses[0].reason == REASON_NO_CANDIDATE
+
+
+class TestResultCache:
+    def test_hit_replays_same_answer_with_fresh_timings(self, paper_graph):
+        engine = BCCEngine(paper_graph, SearchConfig(k1=4, k2=3))
+        query = Query("online-bcc", ("ql", "qr"))
+        first = engine.search(query)
+        second = engine.search(query)
+        assert engine.counters["result_cache_misses"] == 1
+        assert engine.counters["result_cache_hits"] == 1
+        assert second.timings["cache_hit"] == 1.0
+        assert "cache_hit" not in first.timings
+        assert second.status == first.status
+        assert second.vertices == first.vertices
+        assert second.result is first.result  # the native result is shared
+        assert second.vertices is not first.vertices  # the member set is not
+        assert engine.counters["searches"] == 2
+
+    def test_distinct_configs_do_not_collide(self, paper_graph):
+        engine = BCCEngine(paper_graph)
+        query = ("ql", "qr")
+        found = engine.search(
+            Query("online-bcc", query, config=SearchConfig(k1=4, k2=3))
+        )
+        empty = engine.search(
+            Query("online-bcc", query, config=SearchConfig(k1=99, k2=99))
+        )
+        assert found.status == STATUS_OK and empty.status == STATUS_EMPTY
+        assert engine.counters["result_cache_hits"] == 0
+
+    def test_bypass_per_call(self, paper_graph):
+        engine = BCCEngine(paper_graph, SearchConfig(k1=4, k2=3))
+        query = Query("online-bcc", ("ql", "qr"))
+        engine.search(query)
+        bypassed = engine.search(query, use_cache=False)
+        assert "cache_hit" not in bypassed.timings
+        assert engine.counters["result_cache_hits"] == 0
+
+    def test_caller_instrumentation_bypasses_cache(self, paper_graph):
+        from repro.eval.instrumentation import SearchInstrumentation
+
+        engine = BCCEngine(paper_graph, SearchConfig(k1=4, k2=3))
+        query = Query("online-bcc", ("ql", "qr"))
+        engine.search(query)
+        inst = SearchInstrumentation()
+        response = engine.search(query, instrumentation=inst)
+        # The algorithm actually ran and filled the caller's counters.
+        assert response.instrumentation is inst
+        assert inst.butterfly_counting_calls >= 1
+        assert engine.counters["result_cache_hits"] == 0
+
+    def test_zero_size_disables_caching(self, paper_graph):
+        engine = BCCEngine(
+            paper_graph, SearchConfig(k1=4, k2=3), result_cache_size=0
+        )
+        query = Query("online-bcc", ("ql", "qr"))
+        engine.search(query)
+        engine.search(query)
+        assert engine.counters["result_cache_hits"] == 0
+        assert engine.counters["result_cache_misses"] == 0
+        assert engine.result_cache_len() == 0
+
+    def test_lru_evicts_oldest_entry(self, paper_graph):
+        engine = BCCEngine(paper_graph, result_cache_size=2)
+        queries = [
+            Query("online-bcc", ("ql", "qr"), config=SearchConfig(k1=k, k2=k))
+            for k in (1, 2, 3)
+        ]
+        for query in queries:
+            engine.search(query)
+        assert engine.result_cache_len() == 2
+        # k=1 was evicted; k=3 is still warm.
+        assert "cache_hit" in engine.search(queries[2]).timings
+        assert "cache_hit" not in engine.search(queries[0]).timings
+
+    def test_negative_size_rejected(self, paper_graph):
+        with pytest.raises(ValueError):
+            BCCEngine(paper_graph, result_cache_size=-1)
+
+    def test_search_many_can_bypass_cache(self, paper_graph):
+        engine = BCCEngine(paper_graph, SearchConfig(k1=4, k2=3))
+        queries = [Query("online-bcc", ("ql", "qr"))] * 2
+        cached = engine.search_many(queries)
+        assert "cache_hit" in cached[1].timings
+        fresh = engine.search_many(queries, use_cache=False)
+        assert all("cache_hit" not in r.timings for r in fresh)
+
+
+class TestOneShotMissingVertexTranslation:
+    def test_missing_query_vertex_is_empty_for_baselines(self, paper_graph):
+        assert one_shot_search("ctc", paper_graph, ("ql", "ghost"), SearchConfig()) is None
+        assert one_shot_search("psa", paper_graph, ("ghost",), SearchConfig()) is None
+
+    def test_missing_query_vertex_raises_for_bcc_methods(self, paper_graph):
+        with pytest.raises(VertexNotFoundError):
+            one_shot_search("lp-bcc", paper_graph, ("ql", "ghost"), SearchConfig())
+
+    def test_deep_missing_vertex_propagates_even_when_flagged(self, paper_graph):
+        """A VertexNotFoundError for a NON-query vertex is an implementation
+        bug, not "no community" — it must not be translated into None."""
+
+        @register_method(
+            "buggy-baseline",
+            display="Buggy-Baseline",
+            kind="baseline",
+            missing_vertex_is_empty=True,
+        )
+        def _buggy(engine, query, config, instrumentation):
+            raise VertexNotFoundError("internal-liaison-vertex")
+
+        try:
+            with pytest.raises(VertexNotFoundError, match="internal-liaison-vertex"):
+                one_shot_search(
+                    "buggy-baseline", paper_graph, ("ql", "qr"), SearchConfig()
+                )
+        finally:
+            unregister_method("buggy-baseline")

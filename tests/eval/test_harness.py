@@ -248,3 +248,45 @@ class TestEvaluateMultilabel:
     def test_unknown_method_rejected(self, tiny_baidu_bundle):
         with pytest.raises(ValueError):
             evaluate_multilabel(tiny_baidu_bundle, 2, methods=["Louvain"], count=1)
+
+
+class TestErrorRowAggregation:
+    def test_error_rows_excluded_from_timing_means(self):
+        import math
+
+        from repro.eval.harness import QueryOutcome, _summarize_outcomes
+
+        ran = QueryOutcome(
+            method="LP-BCC", query=("a", "b"), found=True, seconds=2.0, f1=1.0,
+            query_distance=1.0,
+        )
+        errored = QueryOutcome(
+            method="LP-BCC", query=("a", "ghost"), status="error",
+            reason="missing-query-vertex", error="vertex 'ghost' is not in the graph",
+        )
+        summary = _summarize_outcomes("LP-BCC", "unit", [ran, errored])
+        assert summary.queries == 2
+        assert summary.answered == 1
+        assert summary.errors == 1
+        # The error row never ran the algorithm: its placeholder 0.0 seconds
+        # and infinite query distance stay out of the means.
+        assert summary.avg_seconds == 2.0
+        assert summary.total_seconds == 2.0
+        assert summary.avg_query_distance == 1.0
+        assert math.isinf(errored.query_distance)
+
+    def test_evaluate_methods_batch_mode_matches_sequential(self, tiny_baidu_bundle):
+        from repro.eval.harness import evaluate_methods
+        from repro.eval.queries import QuerySpec
+
+        batched = evaluate_methods(
+            tiny_baidu_bundle, methods=["LP-BCC"], spec=QuerySpec(count=3),
+            seed=5, max_workers=4,
+        )
+        sequential = evaluate_methods(
+            tiny_baidu_bundle, methods=["LP-BCC"], spec=QuerySpec(count=3),
+            seed=5,
+        )
+        assert batched["LP-BCC"].answered == sequential["LP-BCC"].answered
+        assert batched["LP-BCC"].avg_f1 == sequential["LP-BCC"].avg_f1
+        assert batched["LP-BCC"].errors == sequential["LP-BCC"].errors == 0
