@@ -84,7 +84,7 @@ def main() -> None:
     for name, scores in totals.items():
         print(f"  {name:>8}: {sum(scores) / len(scores):.3f}")
 
-    counters = engine.counters
+    counters = engine.counters_snapshot()
     print(
         f"\nServed {counters['searches']} searches from 4 threads with "
         f"{counters['csr_freezes']} CSR freeze and "

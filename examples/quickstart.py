@@ -86,9 +86,10 @@ def main() -> None:
     )
     print(f"  F1 vs Figure 2 = {f1_score(psa_response.vertices, expected):.2f}")
 
+    counters = engine.counters_snapshot()
     print(
         f"\nEngine counters (prepared once, served "
-        f"{engine.counters['searches']} queries): {engine.counters}"
+        f"{counters['searches']} queries): {counters}"
     )
 
 

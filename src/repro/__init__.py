@@ -52,13 +52,21 @@ from repro.api import (
     method_names,
     register_method,
 )
+from repro.serving import (
+    GraphDirectory,
+    ServingStats,
+    ShardedBCCEngine,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BCCEngine",
     "BCIndex",
     "BatchQuery",
+    "GraphDirectory",
+    "ServingStats",
+    "ShardedBCCEngine",
     "Query",
     "SearchConfig",
     "SearchResponse",

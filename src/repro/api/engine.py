@@ -18,14 +18,24 @@ queries through the method registry.  Unlike the legacy one-shot functions it
 The engine is safe to serve from multiple threads: each fill-once cache
 (CSR freeze, label groups, BCindex) is guarded by its own lock with a
 double-checked fill, so a ``search_many(..., max_workers=8)`` batch still
-performs each preparation step exactly once, and ``counters`` increments are
+performs each preparation step exactly once, and counter increments are
 lock-protected.  Mutating the *graph* while queries are in flight remains
 undefined; mutations between calls are detected per serving call and
-invalidate every cache exactly once (counted in ``counters["invalidations"]``).
+invalidate every cache exactly once (counted in the ``"invalidations"``
+counter).
 
-``counters`` records how often each preparation step actually ran, so tests
-(and operators) can assert the amortization: a ``search_many`` batch over an
-unmutated graph performs the CSR freeze and the BCindex build at most once.
+:meth:`counters_snapshot` records how often each preparation step actually
+ran, so tests (and operators) can assert the amortization: a ``search_many``
+batch over an unmutated graph performs the CSR freeze and the BCindex build
+at most once.  The legacy ``counters`` attribute remains as a *read-only*
+live view — it used to be a public mutable dict that callers read and wrote
+without the lock; take :meth:`counters_snapshot` for a consistent copy.
+
+The result cache accepts an optional *admission policy* (see
+:mod:`repro.serving.policies`): an object with ``now()``, ``admit(method,
+response)``, ``expired(method, age_seconds)`` and ``method_budget(method)``
+hooks layered onto the LRU — TTL expiry turns stale hits into misses, and a
+per-method size budget evicts only that method's entries.
 
 The engine answers "no community" with a ``SearchResponse`` of
 ``status="empty"`` and a machine-readable ``reason``.  Malformed queries
@@ -42,7 +52,8 @@ import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from types import MappingProxyType
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 from repro.api.config import SearchConfig
 from repro.api.query import (
@@ -75,6 +86,23 @@ ON_ERROR_POLICIES = ("raise", "return")
 #: Default capacity of the per-engine LRU result cache (entries).
 DEFAULT_RESULT_CACHE_SIZE = 128
 
+#: Every counter an engine maintains, in reporting order.  The serving
+#: layer uses this to report an all-zero snapshot for shards whose engine
+#: was never built (the laziness proof: untouched shards did no work).
+ENGINE_COUNTER_NAMES = (
+    "prepare_calls",
+    "csr_freezes",
+    "index_builds",
+    "group_builds",
+    "searches",
+    "invalidations",
+    "result_cache_hits",
+    "result_cache_misses",
+    "result_cache_expirations",
+    "result_cache_rejections",
+    "result_cache_budget_evictions",
+)
+
 
 def _error_message(exc: BaseException) -> str:
     """The exception message, unwrapping KeyError's repr-quoting."""
@@ -83,6 +111,117 @@ def _error_message(exc: BaseException) -> str:
     if exc.args and isinstance(exc.args[0], str):
         return exc.args[0]
     return str(exc)
+
+
+def is_caller_error(query: Query, exc: Exception) -> bool:
+    """Whether ``exc`` is the *query's* fault (eligible for ``"return"``).
+
+    A :class:`VertexNotFoundError` naming a vertex that is not a query
+    vertex escaped from deep inside a runner — an implementation bug, not a
+    malformed query — and must propagate, never be converted into a
+    per-query error row.  Shared by :class:`BCCEngine` and the sharded
+    serving layer so both apply one rule.
+    """
+    if isinstance(exc, VertexNotFoundError):
+        return getattr(exc, "vertex", None) in query.vertices
+    return isinstance(exc, QueryError)
+
+
+def error_response_for(query: Query, exc: Exception) -> SearchResponse:
+    """A position-aligned ``status="error"`` response for a failed query."""
+    if isinstance(exc, VertexNotFoundError):
+        reason = REASON_MISSING_VERTEX
+    elif isinstance(exc, UnknownMethodError):
+        reason = REASON_UNKNOWN_METHOD
+    else:
+        reason = REASON_INVALID_QUERY
+    return SearchResponse(
+        method=query.method,
+        query=query.vertices,
+        status=STATUS_ERROR,
+        reason=reason,
+        error=_error_message(exc),
+    )
+
+
+def serve_batch(
+    engine,
+    queries: Union[BatchQuery, Iterable[Query]],
+    *,
+    config: Optional[SearchConfig],
+    instrumentation: Optional[SearchInstrumentation],
+    on_error: str,
+    max_workers: int,
+    use_cache: bool,
+    prepare=None,
+) -> List[SearchResponse]:
+    """The one batch-dispatch implementation behind every ``search_many``.
+
+    ``engine`` is anything with the uniform ``search(query, *, config,
+    instrumentation, use_cache)`` method — the monolithic
+    :class:`BCCEngine` and the sharded router both delegate here, so batch
+    semantics (validation, config precedence, per-query error policy,
+    position-aligned thread-pool dispatch) can never diverge between them.
+    ``prepare`` optionally runs once before a non-empty batch is served.
+    """
+    if on_error not in ON_ERROR_POLICIES:
+        raise QueryError(
+            f"unknown on_error policy {on_error!r}; known: {ON_ERROR_POLICIES}"
+        )
+    if max_workers < 1:
+        raise QueryError("max_workers must be >= 1")
+    batch_config: Optional[SearchConfig] = None
+    if isinstance(queries, BatchQuery):
+        batch_config = queries.config
+        items: List[Query] = list(queries)  # validated in __post_init__
+    else:
+        # Same member-type guarantee as BatchQuery.__post_init__ for plain
+        # iterables: one validator owns the rule, and a bad member fails up
+        # front with its index, not deep inside a worker with an opaque
+        # AttributeError.
+        items = list(BatchQuery(queries=tuple(queries)).queries)
+    if items and prepare is not None:
+        prepare()
+
+    def effective_config(query: Query) -> Optional[SearchConfig]:
+        if config is None and query.config is None:
+            return batch_config
+        return config
+
+    def serve(query: Query) -> SearchResponse:
+        try:
+            return engine.search(
+                query,
+                config=effective_config(query),
+                instrumentation=instrumentation,
+                use_cache=use_cache,
+            )
+        except (QueryError, VertexNotFoundError) as exc:
+            if on_error == "raise" or not is_caller_error(query, exc):
+                raise
+            return error_response_for(query, exc)
+
+    if max_workers > 1 and len(items) > 1:
+        with ThreadPoolExecutor(max_workers=min(max_workers, len(items))) as pool:
+            # map() yields in submission order, so responses stay
+            # position-aligned and an on_error="raise" failure surfaces at
+            # its earliest position.
+            return list(pool.map(serve, items))
+    return [serve(query) for query in items]
+
+
+@dataclasses.dataclass
+class _CacheEntry:
+    """One result-cache slot: the response plus what a policy needs.
+
+    ``stamp`` is the policy clock's insertion time (0.0 without a policy —
+    nothing ever reads it then), ``method`` the canonical method name so a
+    per-method budget can evict its own entries without re-parsing keys.
+    """
+
+    response: SearchResponse
+    method: str
+    stamp: float
 
 
 class BCCEngine:
@@ -103,7 +242,14 @@ class BCCEngine:
         Capacity of the LRU result cache (0 disables it).  Cached responses
         are keyed on ``(method, vertices, resolved config, graph version)``
         and replayed with fresh timings; hits and misses are counted in
-        ``counters``.
+        the engine counters.
+    result_cache_policy:
+        Optional admission policy layered onto the LRU (see
+        :mod:`repro.serving.policies`): ``admit`` can refuse to cache a
+        response, ``expired`` turns a stale hit into a miss (the entry is
+        evicted and counted in ``"result_cache_expirations"``), and
+        ``method_budget`` caps how many entries one method may hold —
+        exceeding the budget evicts that method's oldest entries only.
 
     The engine assumes a *serving* graph: searches never mutate it, and the
     caches stay warm across queries.  If the graph is mutated anyway, the
@@ -118,6 +264,7 @@ class BCCEngine:
         config: Optional[SearchConfig] = None,
         index: Optional[BCIndex] = None,
         result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE,
+        result_cache_policy: Optional[object] = None,
     ) -> None:
         if not isinstance(graph, LabeledGraph):
             graph = getattr(graph, "graph", graph)
@@ -139,7 +286,8 @@ class BCCEngine:
         # their query_seconds negative) under a threaded batch.
         self._tls = threading.local()
         self._result_cache_size: int = result_cache_size
-        self._result_cache: "OrderedDict[Tuple, SearchResponse]" = OrderedDict()
+        self._result_cache_policy = result_cache_policy
+        self._result_cache: "OrderedDict[Tuple, _CacheEntry]" = OrderedDict()
         # Per-cache locks: each fill-once cache fills under its own lock via
         # a double-checked pattern, so concurrent serving threads perform
         # every preparation step exactly once.  Lock order (outermost first)
@@ -151,21 +299,35 @@ class BCCEngine:
         self._version_lock = threading.Lock()
         self._cache_lock = threading.Lock()
         self._counters_lock = threading.Lock()
-        self.counters: Dict[str, int] = {
-            "prepare_calls": 0,
-            "csr_freezes": 0,
-            "index_builds": 0,
-            "group_builds": 0,
-            "searches": 0,
-            "invalidations": 0,
-            "result_cache_hits": 0,
-            "result_cache_misses": 0,
+        self._counters: Dict[str, int] = {
+            name: 0 for name in ENGINE_COUNTER_NAMES
         }
+
+    @property
+    def counters(self) -> Mapping[str, int]:
+        """Deprecated live view of the engine counters (read-only).
+
+        This used to be a public mutable dict that callers read — and could
+        write — without the counters lock.  It is now a
+        :class:`types.MappingProxyType`, so existing reads keep working but
+        writes raise.  Prefer :meth:`counters_snapshot`, which takes the
+        lock and returns a consistent point-in-time copy.
+        """
+        return MappingProxyType(self._counters)
+
+    def counters_snapshot(self) -> Dict[str, int]:
+        """Return a lock-protected, consistent copy of the engine counters.
+
+        The copy is the caller's to keep or mutate; it never observes a
+        torn multi-counter state from concurrent serving threads.
+        """
+        with self._counters_lock:
+            return dict(self._counters)
 
     def _count(self, name: str, amount: int = 1) -> None:
         """Thread-safe counter increment (``+=`` on a dict slot is not)."""
         with self._counters_lock:
-            self.counters[name] += amount
+            self._counters[name] += amount
 
     # ------------------------------------------------------------------
     # prepared state
@@ -278,25 +440,106 @@ class BCCEngine:
     # result cache
     # ------------------------------------------------------------------
     def _cache_get(self, key: Tuple) -> Optional[SearchResponse]:
-        """LRU lookup: a hit moves the entry to the fresh end."""
-        with self._cache_lock:
-            response = self._result_cache.get(key)
-            if response is not None:
-                self._result_cache.move_to_end(key)
-            return response
+        """LRU lookup: a hit moves the entry to the fresh end.
 
-    def _cache_put(self, key: Tuple, response: SearchResponse) -> None:
-        """Insert, evicting the least recently used entry beyond capacity."""
+        With an admission policy attached, an entry past its TTL is evicted
+        here and the lookup reports a miss — expired answers are never
+        replayed.  (Counting happens outside the cache lock: counter and
+        cache locks are both leaves and must never nest.)
+        """
+        policy = self._result_cache_policy
+        expired = False
+        try:
+            with self._cache_lock:
+                entry = self._result_cache.get(key)
+                if entry is None:
+                    return None
+                if policy is not None and policy.expired(
+                    entry.method, policy.now() - entry.stamp
+                ):
+                    del self._result_cache[key]
+                    expired = True
+                    return None
+                self._result_cache.move_to_end(key)
+                return entry.response
+        finally:
+            if expired:
+                self._count("result_cache_expirations")
+
+    def _cache_put(self, key: Tuple, response: SearchResponse, method: str) -> None:
+        """Insert, evicting the least recently used entry beyond capacity.
+
+        The admission policy (when attached) runs first: a refused response
+        is simply not cached.  After the global LRU bound, the method's own
+        budget is enforced by evicting that method's oldest entries only —
+        a burst of one hot method can never push another method's answers
+        out beyond the global LRU pressure it always exerted.
+        """
+        policy = self._result_cache_policy
+        if policy is not None and not policy.admit(method, response):
+            self._count("result_cache_rejections")
+            return
+        stamp = policy.now() if policy is not None else 0.0
+        budget_evictions = 0
         with self._cache_lock:
-            self._result_cache[key] = response
+            self._result_cache[key] = _CacheEntry(response, method, stamp)
             self._result_cache.move_to_end(key)
             while len(self._result_cache) > self._result_cache_size:
                 self._result_cache.popitem(last=False)
+            if policy is not None:
+                budget = policy.method_budget(method)
+                if budget is not None:
+                    same_method = [
+                        k
+                        for k, entry in self._result_cache.items()
+                        if entry.method == method
+                    ]
+                    # max(0, ...): a negative excess would slice from the
+                    # *end* and evict under-budget entries.
+                    excess = max(0, len(same_method) - budget)
+                    for stale_key in same_method[:excess]:
+                        del self._result_cache[stale_key]
+                        budget_evictions += 1
+        if budget_evictions:
+            self._count("result_cache_budget_evictions", budget_evictions)
 
     def result_cache_len(self) -> int:
         """Number of responses currently cached."""
         with self._cache_lock:
             return len(self._result_cache)
+
+    def result_cache_info(self) -> Dict[str, object]:
+        """A JSON-serializable snapshot of the result cache's behaviour.
+
+        The payload behind serving-stats endpoints: capacity, current
+        entries (per method when a policy cares about methods), hit/miss
+        counts and the derived hit rate (``None`` before the first lookup).
+        """
+        with self._cache_lock:
+            entries = len(self._result_cache)
+            per_method: Dict[str, int] = {}
+            for entry in self._result_cache.values():
+                per_method[entry.method] = per_method.get(entry.method, 0) + 1
+        counters = self.counters_snapshot()
+        hits = counters["result_cache_hits"]
+        misses = counters["result_cache_misses"]
+        lookups = hits + misses
+        return {
+            "capacity": self._result_cache_size,
+            "entries": entries,
+            "entries_per_method": per_method,
+            "hits": hits,
+            "misses": misses,
+            "expirations": counters["result_cache_expirations"],
+            "rejections": counters["result_cache_rejections"],
+            "budget_evictions": counters["result_cache_budget_evictions"],
+            "hit_rate": (hits / lookups) if lookups else None,
+            "policy": (
+                repr(self._result_cache_policy)
+                if self._result_cache_policy is not None
+                else None
+            ),
+        }
 
     @staticmethod
     def _replay(cached: SearchResponse, elapsed: float) -> SearchResponse:
@@ -405,37 +648,16 @@ class BCCEngine:
         )
         if cache_key is not None:
             self._count("result_cache_misses")
-            self._cache_put(cache_key, response)
+            self._cache_put(cache_key, response, spec.name)
         return response
 
-    @staticmethod
-    def _is_caller_error(query: Query, exc: Exception) -> bool:
-        """Whether ``exc`` is the *query's* fault (eligible for ``"return"``).
-
-        A :class:`VertexNotFoundError` naming a vertex that is not a query
-        vertex escaped from deep inside a runner — an implementation bug,
-        not a malformed query — and must propagate, never be converted into
-        a per-query error row.
-        """
-        if isinstance(exc, VertexNotFoundError):
-            return getattr(exc, "vertex", None) in query.vertices
-        return isinstance(exc, QueryError)
+    # Module-level helpers shared with the sharded serving layer; kept as
+    # (deprecated) aliases because external subclasses may override them.
+    _is_caller_error = staticmethod(is_caller_error)
 
     def _error_response(self, query: Query, exc: Exception) -> SearchResponse:
         """A position-aligned ``status="error"`` response for a failed query."""
-        if isinstance(exc, VertexNotFoundError):
-            reason = REASON_MISSING_VERTEX
-        elif isinstance(exc, UnknownMethodError):
-            reason = REASON_UNKNOWN_METHOD
-        else:
-            reason = REASON_INVALID_QUERY
-        return SearchResponse(
-            method=query.method,
-            query=query.vertices,
-            status=STATUS_ERROR,
-            reason=reason,
-            error=_error_message(exc),
-        )
+        return error_response_for(query, exc)
 
     def search_many(
         self,
@@ -483,52 +705,21 @@ class BCCEngine:
         ``max_workers=1`` with it — the counters are not merged atomically);
         leave it ``None`` to give each response its own per-search counters.
         """
-        if on_error not in ON_ERROR_POLICIES:
-            raise QueryError(
-                f"unknown on_error policy {on_error!r}; known: {ON_ERROR_POLICIES}"
-            )
-        if max_workers < 1:
-            raise QueryError("max_workers must be >= 1")
-        batch_config: Optional[SearchConfig] = None
-        if isinstance(queries, BatchQuery):
-            batch_config = queries.config
-            items: List[Query] = list(queries)  # validated in __post_init__
-        else:
-            # Same member-type guarantee as BatchQuery.__post_init__ for
-            # plain iterables: one validator owns the rule, and a bad member
-            # fails up front with its index, not deep inside a worker with
-            # an opaque AttributeError.
-            items = list(BatchQuery(queries=tuple(queries)).queries)
-        if items and not self.is_prepared():
-            self.prepare()
 
-        def effective_config(query: Query) -> Optional[SearchConfig]:
-            if config is None and query.config is None:
-                return batch_config
-            return config
+        def prepare_once() -> None:
+            if not self.is_prepared():
+                self.prepare()
 
-        def serve(query: Query) -> SearchResponse:
-            try:
-                return self.search(
-                    query,
-                    config=effective_config(query),
-                    instrumentation=instrumentation,
-                    use_cache=use_cache,
-                )
-            except (QueryError, VertexNotFoundError) as exc:
-                if on_error == "raise" or not self._is_caller_error(query, exc):
-                    raise
-                return self._error_response(query, exc)
-
-        if max_workers > 1 and len(items) > 1:
-            with ThreadPoolExecutor(
-                max_workers=min(max_workers, len(items))
-            ) as pool:
-                # map() yields in submission order, so responses stay
-                # position-aligned and an on_error="raise" failure surfaces
-                # at its earliest position.
-                return list(pool.map(serve, items))
-        return [serve(query) for query in items]
+        return serve_batch(
+            self,
+            queries,
+            config=config,
+            instrumentation=instrumentation,
+            on_error=on_error,
+            max_workers=max_workers,
+            use_cache=use_cache,
+            prepare=prepare_once,
+        )
 
     # ------------------------------------------------------------------
     # introspection
@@ -546,8 +737,7 @@ class BCCEngine:
         self._check_version()
         spec = get_method(query.method)
         cfg = self._resolve_config(query, config)
-        with self._counters_lock:
-            counters = dict(self.counters)
+        counters = self.counters_snapshot()
         with self._groups_lock:
             # Snapshot: iterating the live dict would race concurrent
             # group fills ("dictionary changed size during iteration").
@@ -637,5 +827,5 @@ class BCCEngine:
             f"BCCEngine(|V|={self.graph.num_vertices()}, "
             f"|E|={self.graph.num_edges()}, prepared={self._prepared}, "
             f"index={'built' if self.has_index() else 'lazy'}, "
-            f"searches={self.counters['searches']})"
+            f"searches={self._counters['searches']})"
         )

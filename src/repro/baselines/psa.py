@@ -153,7 +153,12 @@ def run_psa(
     seen: Set[Vertex] = set(query)
 
     def push_neighbors(vertex: Vertex) -> None:
-        for w in graph.neighbors(vertex):
+        # Sorted iteration: adjacency sets iterate in memory-layout order,
+        # which differs between equal graphs (e.g. a full graph and the
+        # same component served as a shard subgraph).  The expansion's
+        # tie-break counter must depend on the graph's *content* only, or
+        # PSA returns different communities for identical inputs.
+        for w in sorted(graph.neighbors(vertex), key=repr):
             if w in seen:
                 continue
             seen.add(w)
@@ -205,7 +210,12 @@ def run_psa(
                 worst = max(worst, dmap[v])
             return worst
 
-        removable = [v for v in community.vertices() if v not in query]
+        # Sorted for the same reason as the expansion: ``max`` keeps the
+        # first maximum it meets, so vertex iteration order (memory layout)
+        # must not decide which of two equally-far vertices is dropped.
+        removable = sorted(
+            (v for v in community.vertices() if v not in query), key=repr
+        )
         if not removable:
             break
         farthest = max(removable, key=qd)

@@ -304,6 +304,7 @@ def evaluate_methods(
     share_index: bool = True,
     max_workers: int = 1,
     on_error: str = "return",
+    sharded: bool = False,
 ) -> Dict[str, MethodSummary]:
     """Run several methods over a generated workload and aggregate per method.
 
@@ -319,6 +320,12 @@ def evaluate_methods(
     serve the batch, and ``on_error`` is the engine's per-query policy —
     the default ``"return"`` scores a failed query as an error row
     (``MethodSummary.errors``) instead of aborting the evaluation.
+    ``sharded`` swaps the engine for a
+    :class:`repro.serving.ShardedBCCEngine` (one engine per connected
+    component behind the same batch surface): answers are identical on the
+    evaluation networks, and a workload whose queries cluster in a few
+    components only prepares those components' shards.  It requires
+    ``share_index`` (per-query throwaway engines have nothing to shard).
     Caveat: with ``max_workers > 1`` the per-query wall-clock timings
     include scheduler/lock contention from concurrent queries, so
     ``avg_seconds`` measures serving latency under load, not the
@@ -331,8 +338,17 @@ def evaluate_methods(
     if methods is None:
         methods = method_names(kinds=_FIGURE_KINDS)
     pairs = generate_query_pairs(bundle, spec, seed=seed)
-    engine: Optional[BCCEngine] = None
-    if share_index:
+    engine = None
+    if sharded:
+        if not share_index:
+            raise ValueError("sharded evaluation requires share_index=True")
+        # Deferred import: the serving layer sits above the harness and
+        # importing it eagerly here would make repro.eval pull the whole
+        # serving/dataset stack in on import.
+        from repro.serving.sharded import ShardedBCCEngine
+
+        engine = ShardedBCCEngine(bundle.graph)
+    elif share_index:
         engine = BCCEngine(bundle.graph).prepare()
     summaries: Dict[str, MethodSummary] = {}
     for method in methods:

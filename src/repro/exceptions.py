@@ -66,6 +66,11 @@ REASON_QUERY_DISCONNECTED = "query-disconnected"
 REASON_MISSING_VERTEX = "missing-query-vertex"
 REASON_NO_TRUSS = "no-truss"
 REASON_NO_CORE = "no-core"
+#: The query vertices live in different connected components, so no
+#: connected community can contain them — the sharded serving layer
+#: (:class:`repro.serving.ShardedBCCEngine`) answers ``status="empty"``
+#: with this reason without touching any shard.
+REASON_CROSS_SHARD = "cross-shard"
 
 #: Machine-readable reasons surfaced on ``status="error"`` responses when
 #: ``BCCEngine.search_many(on_error="return")`` converts a per-query failure
@@ -95,3 +100,15 @@ class IndexNotBuiltError(ReproError):
 
 class DatasetError(ReproError):
     """Raised when a synthetic dataset generator receives invalid parameters."""
+
+
+class GraphNotFoundError(ReproError, KeyError):
+    """Raised when a serving directory is asked for a graph it does not host."""
+
+    def __init__(self, name, known=()) -> None:
+        message = f"no graph named {name!r} is being served"
+        if known:
+            message += f"; serving: {sorted(known)}"
+        super().__init__(message)
+        self.name = name
+        self.known = tuple(known)

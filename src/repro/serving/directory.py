@@ -1,0 +1,249 @@
+"""A directory of named serving engines: many graphs, one process.
+
+:class:`GraphDirectory` hosts multiple named engines — sharded
+(:class:`repro.serving.sharded.ShardedBCCEngine`) or monolithic
+(:class:`repro.api.BCCEngine`) — behind one ``serve(name, query)`` surface,
+and is wired to the dataset registry so any registered evaluation network
+is servable by name::
+
+    directory = GraphDirectory()
+    directory.load("baidu-tiny", seed=7)          # sharded by default
+    response = directory.serve("baidu-tiny", Query("lp-bcc", pair))
+    print(directory.stats()["baidu-tiny"].to_json(indent=2))
+
+Per-graph latency histograms are recorded at the directory edge (covering
+routing *and* search), so the aggregated :meth:`stats` payload is the whole
+process's "stats endpoint".
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.api.config import SearchConfig
+from repro.api.engine import DEFAULT_RESULT_CACHE_SIZE, BCCEngine
+from repro.api.query import BatchQuery, Query, SearchResponse
+from repro.datasets.registry import load_dataset
+from repro.exceptions import GraphNotFoundError
+from repro.graph.labeled_graph import LabeledGraph
+from repro.serving.sharded import ShardedBCCEngine
+from repro.serving.stats import LatencyHistogram, ServingStats
+
+ServingEngine = Union[BCCEngine, ShardedBCCEngine]
+
+
+class GraphDirectory:
+    """Named serving engines over many graphs in one process.
+
+    Parameters
+    ----------
+    config:
+        Default :class:`SearchConfig` for engines added without their own.
+    sharded:
+        Whether :meth:`add` / :meth:`load` build sharded engines by default
+        (overridable per graph).
+    result_cache_size, result_cache_policy:
+        Defaults forwarded to every engine's result cache.
+
+    All directory operations are thread-safe; the engines themselves are
+    thread-safe by construction, so one directory can serve a whole
+    process's traffic.
+    """
+
+    def __init__(
+        self,
+        config: Optional[SearchConfig] = None,
+        sharded: bool = True,
+        result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE,
+        result_cache_policy: Optional[object] = None,
+    ) -> None:
+        self._config = config
+        self._sharded_default = sharded
+        self._result_cache_size = result_cache_size
+        self._result_cache_policy = result_cache_policy
+        self._lock = threading.Lock()
+        self._engines: Dict[str, ServingEngine] = {}
+        self._latency: Dict[str, LatencyHistogram] = {}
+
+    # ------------------------------------------------------------------
+    # hosting
+    # ------------------------------------------------------------------
+    def add(
+        self,
+        name: str,
+        graph: Union[LabeledGraph, object],
+        *,
+        sharded: Optional[bool] = None,
+        config: Optional[SearchConfig] = None,
+        result_cache_size: Optional[int] = None,
+        result_cache_policy: Optional[object] = None,
+    ) -> ServingEngine:
+        """Host ``graph`` (or a bundle) under ``name`` and return its engine.
+
+        Re-adding an existing name replaces its engine — the directory is
+        the single owner of the name, so a live process can swap a graph
+        for a rebuilt one atomically.
+        """
+        if not name or not isinstance(name, str):
+            raise ValueError("a served graph needs a non-empty string name")
+        use_sharded = self._sharded_default if sharded is None else sharded
+        engine_config = config if config is not None else self._config
+        cache_size = (
+            self._result_cache_size
+            if result_cache_size is None
+            else result_cache_size
+        )
+        cache_policy = (
+            self._result_cache_policy
+            if result_cache_policy is None
+            else result_cache_policy
+        )
+        engine: ServingEngine
+        if use_sharded:
+            engine = ShardedBCCEngine(
+                graph,
+                engine_config,
+                result_cache_size=cache_size,
+                result_cache_policy=cache_policy,
+            )
+        else:
+            engine = BCCEngine(
+                graph,
+                engine_config,
+                result_cache_size=cache_size,
+                result_cache_policy=cache_policy,
+            )
+        with self._lock:
+            self._engines[name] = engine
+            self._latency[name] = LatencyHistogram()
+        return engine
+
+    def load(
+        self,
+        dataset: str,
+        *,
+        name: Optional[str] = None,
+        seed: int = 0,
+        sharded: Optional[bool] = None,
+        config: Optional[SearchConfig] = None,
+        **kwargs: object,
+    ) -> ServingEngine:
+        """Generate a registered dataset and host it (name defaults to the
+        dataset's); extra ``kwargs`` go to the generator.
+
+        This is the "any registered dataset is servable by name" wiring:
+        ``directory.load("orkut", communities=6)`` stands up a sharded
+        engine over a fresh orkut-like network in one call.
+        """
+        bundle = load_dataset(dataset, seed=seed, **kwargs)
+        return self.add(
+            name if name is not None else dataset,
+            bundle,
+            sharded=sharded,
+            config=config,
+        )
+
+    def get(self, name: str) -> ServingEngine:
+        """The engine serving ``name`` (:class:`GraphNotFoundError` if absent)."""
+        with self._lock:
+            engine = self._engines.get(name)
+            if engine is None:
+                raise GraphNotFoundError(name, known=self._engines)
+            return engine
+
+    def remove(self, name: str) -> None:
+        """Stop serving ``name`` (:class:`GraphNotFoundError` if absent)."""
+        with self._lock:
+            if name not in self._engines:
+                raise GraphNotFoundError(name, known=self._engines)
+            del self._engines[name]
+            del self._latency[name]
+
+    def names(self) -> List[str]:
+        """The graphs currently served, sorted."""
+        with self._lock:
+            return sorted(self._engines)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._engines
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._engines)
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    def serve(self, name: str, query: Query, **kwargs: object) -> SearchResponse:
+        """Serve one query against the named graph, recording edge latency."""
+        engine = self.get(name)
+        histogram = self._histogram(name)
+        start = time.perf_counter()
+        try:
+            return engine.search(query, **kwargs)  # type: ignore[arg-type]
+        finally:
+            histogram.observe(time.perf_counter() - start)
+
+    def serve_many(
+        self,
+        name: str,
+        queries: Union[BatchQuery, Iterable[Query]],
+        **kwargs: object,
+    ) -> List[SearchResponse]:
+        """Serve a batch against the named graph (``search_many`` semantics).
+
+        The batch's wall-clock is recorded as one edge-latency observation —
+        per-query latencies live in each response's ``timings``.
+        """
+        engine = self.get(name)
+        histogram = self._histogram(name)
+        start = time.perf_counter()
+        try:
+            return engine.search_many(queries, **kwargs)  # type: ignore[arg-type]
+        finally:
+            histogram.observe(time.perf_counter() - start)
+
+    def _histogram(self, name: str) -> LatencyHistogram:
+        with self._lock:
+            histogram = self._latency.get(name)
+        if histogram is None:
+            # Raced a remove() after get(): serve the in-flight query and
+            # drop its observation — re-inserting here would leave an
+            # orphan histogram for a graph no longer served.
+            return LatencyHistogram()
+        return histogram
+
+    # ------------------------------------------------------------------
+    # stats
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, ServingStats]:
+        """Per-graph :class:`ServingStats`, keyed by served name."""
+        with self._lock:
+            engines = dict(self._engines)
+            histograms = dict(self._latency)
+        snapshots: Dict[str, ServingStats] = {}
+        for name, engine in engines.items():
+            if isinstance(engine, ShardedBCCEngine):
+                snapshot = engine.stats(name=name)
+            else:
+                snapshot = ServingStats.from_engine(
+                    engine, name=name, latency=histograms.get(name)
+                )
+            snapshots[name] = snapshot
+        return snapshots
+
+    def stats_payload(self) -> Dict[str, object]:
+        """The whole directory as one JSON-serializable stats document."""
+        return {
+            "graphs": {
+                name: snapshot.to_dict()
+                for name, snapshot in self.stats().items()
+            },
+            "served_graphs": len(self),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GraphDirectory(serving={self.names()})"

@@ -1,0 +1,167 @@
+"""Cache admission policies for the engine's LRU result cache.
+
+``BCCEngine``'s result cache is a plain LRU: under skewed traffic that is
+both too eager (a burst of one-off queries evicts the hot set) and too
+trusting (an answer cached hours ago replays forever on an unmutated
+graph).  A :class:`CacheAdmissionPolicy` layers serving-grade behaviour on
+top without touching the engine's locking:
+
+* :class:`TTLPolicy` — entries older than ``ttl_seconds`` are evicted at
+  lookup time and the lookup reports a miss, so stale answers are never
+  replayed even though the graph version did not change (useful when the
+  response feeds a freshness-sensitive consumer).
+* :class:`MethodBudgetPolicy` — per-method entry budgets: one method's
+  burst can evict *its own* oldest entries beyond its budget, never another
+  method's.  A budget of 0 refuses admission outright.
+* :class:`CompositePolicy` — combines policies: admission requires every
+  member's consent, expiry any member's verdict, and the effective
+  per-method budget is the tightest one.
+
+The engine calls four hooks (duck-typed — the engine does not import this
+module, so the ``api`` layer stays below ``serving``):
+
+* ``now() -> float`` — the policy's clock.  Monotonic by default;
+  injectable (``clock=``) so tests can advance time deterministically.
+* ``admit(method, response) -> bool`` — gate on insert.
+* ``expired(method, age_seconds) -> bool`` — gate on lookup.
+* ``method_budget(method) -> Optional[int]`` — per-method entry cap
+  (``None`` = unbounded).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.exceptions import QueryError
+
+Clock = Callable[[], float]
+
+
+class CacheAdmissionPolicy:
+    """Base policy: admit everything, expire nothing, no budgets.
+
+    Subclasses override the hooks they care about.  ``clock`` defaults to
+    :func:`time.monotonic`; tests inject a fake clock to advance time
+    deterministically.
+    """
+
+    def __init__(self, clock: Optional[Clock] = None) -> None:
+        self._clock: Clock = clock if clock is not None else time.monotonic
+
+    def now(self) -> float:
+        """The policy's clock (seconds; only differences are meaningful)."""
+        return self._clock()
+
+    def admit(self, method: str, response: object) -> bool:
+        """Whether ``response`` may enter the cache at all."""
+        return True
+
+    def expired(self, method: str, age_seconds: float) -> bool:
+        """Whether an entry of ``age_seconds`` must be treated as a miss."""
+        return False
+
+    def method_budget(self, method: str) -> Optional[int]:
+        """Max entries ``method`` may hold (``None`` = unbounded)."""
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class TTLPolicy(CacheAdmissionPolicy):
+    """Expire every cached response ``ttl_seconds`` after insertion.
+
+    An expired entry is evicted at lookup time and the lookup counts as a
+    miss (``result_cache_expirations`` in the engine counters) — the search
+    then runs and re-caches a fresh answer.
+    """
+
+    def __init__(self, ttl_seconds: float, clock: Optional[Clock] = None) -> None:
+        super().__init__(clock)
+        if ttl_seconds <= 0:
+            raise QueryError("ttl_seconds must be positive")
+        self.ttl_seconds = float(ttl_seconds)
+
+    def expired(self, method: str, age_seconds: float) -> bool:
+        return age_seconds >= self.ttl_seconds
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TTLPolicy(ttl_seconds={self.ttl_seconds})"
+
+
+class MethodBudgetPolicy(CacheAdmissionPolicy):
+    """Per-method entry budgets over the engine's shared LRU.
+
+    ``budgets`` maps canonical method names to their entry caps; methods
+    absent from the mapping fall back to ``default`` (``None`` =
+    unbounded).  Exceeding a budget evicts the *same method's* oldest
+    entries only — skewed traffic on one method cannot flush another
+    method's warm answers.  A budget of 0 refuses admission outright.
+    """
+
+    def __init__(
+        self,
+        budgets: Dict[str, int],
+        default: Optional[int] = None,
+        clock: Optional[Clock] = None,
+    ) -> None:
+        super().__init__(clock)
+        for method, budget in budgets.items():
+            if budget < 0:
+                raise QueryError(
+                    f"budget for method {method!r} must be non-negative"
+                )
+        if default is not None and default < 0:
+            raise QueryError("default budget must be non-negative")
+        self.budgets = dict(budgets)
+        self.default = default
+
+    def admit(self, method: str, response: object) -> bool:
+        # A zero budget means "never cache this method" — refusing at the
+        # door beats inserting and immediately evicting.
+        return self.method_budget(method) != 0
+
+    def method_budget(self, method: str) -> Optional[int]:
+        return self.budgets.get(method, self.default)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MethodBudgetPolicy(budgets={self.budgets}, default={self.default})"
+
+
+class CompositePolicy(CacheAdmissionPolicy):
+    """Combine several policies into one.
+
+    Admission requires *every* member to admit; an entry is expired as soon
+    as *any* member says so; the effective per-method budget is the
+    tightest member budget.  The composite's clock is used for stamping —
+    member clocks are ignored, so mixing differently-clocked members cannot
+    skew ages.
+    """
+
+    def __init__(
+        self,
+        policies: Sequence[CacheAdmissionPolicy],
+        clock: Optional[Clock] = None,
+    ) -> None:
+        super().__init__(clock)
+        self.policies = tuple(policies)
+
+    def admit(self, method: str, response: object) -> bool:
+        return all(policy.admit(method, response) for policy in self.policies)
+
+    def expired(self, method: str, age_seconds: float) -> bool:
+        return any(
+            policy.expired(method, age_seconds) for policy in self.policies
+        )
+
+    def method_budget(self, method: str) -> Optional[int]:
+        budgets = [
+            budget
+            for policy in self.policies
+            if (budget := policy.method_budget(method)) is not None
+        ]
+        return min(budgets) if budgets else None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CompositePolicy({list(self.policies)})"

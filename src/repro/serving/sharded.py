@@ -1,0 +1,462 @@
+"""Sharded serving: one engine per connected component, one ``Query`` type.
+
+The BCC model's communities are connected subgraphs containing the query
+vertices (Problem 1), and Algorithm 2 extracts the *connected* k-cores
+around each query vertex — so every answer is local to the connected
+component the query lives in.  :class:`ShardedBCCEngine` exploits that
+exactness: it partitions a labeled graph into connected-component shards,
+serves each shard from its own :class:`repro.api.BCCEngine`, and routes
+queries through a vertex→shard table built at partition time.
+
+Why this is strictly better than one monolithic engine on a multi-component
+graph:
+
+* **Laziness** — shards prepare on first use.  A query pays the CSR freeze
+  and (for index methods) the BCindex build *of its own component only*;
+  components nobody queries never do any work, which
+  :meth:`ShardedBCCEngine.stats` proves with explicitly all-zero counters.
+* **Smaller working sets** — label groups, cores and the BCindex are built
+  over one component instead of the whole graph.
+* **Free cross-component answers** — a query spanning two components can
+  never have a community; it short-circuits to ``status="empty"`` with
+  :data:`repro.exceptions.REASON_CROSS_SHARD` without touching any shard.
+
+Answers are *identical* to the monolithic engine position-for-position
+(same status, community, iteration counts and query distances) — enforced
+by the randomized parity suite in ``tests/serving/`` — with one documented
+difference: cross-component emptiness is reported as ``REASON_CROSS_SHARD``
+by the router, while the monolithic engine reports the method's own
+discovery of the same fact (e.g. ``REASON_QUERY_DISCONNECTED``).
+
+Mutating the graph between serving calls triggers exactly one re-partition
+(double-checked under a lock, counted in ``"partitions"``), discarding
+every shard engine; mutating *during* an in-flight search remains undefined,
+exactly as for :class:`BCCEngine`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Iterable, List, Optional, Set, Union
+
+from repro.api.config import SearchConfig
+from repro.api.engine import (
+    DEFAULT_RESULT_CACHE_SIZE,
+    BCCEngine,
+    serve_batch,
+)
+from repro.api.query import (
+    STATUS_EMPTY,
+    BatchQuery,
+    Query,
+    SearchResponse,
+)
+from repro.api.registry import get_method
+from repro.eval.instrumentation import SearchInstrumentation
+from repro.exceptions import (
+    REASON_CROSS_SHARD,
+    VertexNotFoundError,
+)
+from repro.graph.labeled_graph import LabeledGraph, Vertex
+from repro.graph.traversal import connected_components
+from repro.serving.stats import (
+    LatencyHistogram,
+    ServingStats,
+    aggregate_counters,
+    engine_payload,
+    zero_engine_counters,
+)
+
+
+class ShardedBCCEngine:
+    """Serve one labeled graph as connected-component shards.
+
+    Parameters
+    ----------
+    graph:
+        The graph to serve, or any object exposing it as ``.graph`` (e.g. a
+        :class:`repro.datasets.base.DatasetBundle`) — same contract as
+        :class:`BCCEngine`.
+    config:
+        Base :class:`SearchConfig` handed to every shard engine; per-query
+        and per-call overrides ride through unchanged, so config precedence
+        (call > query > batch > engine base) matches the monolithic engine.
+    result_cache_size, result_cache_policy:
+        Forwarded to each shard engine's LRU result cache; the admission
+        policy object is shared across shards (policies are stateless or
+        internally locked).
+
+    The partition (connected components + the vertex→shard routing table)
+    is computed eagerly at construction — routing must work before any
+    shard exists — but shard *engines* are created and prepared lazily on
+    the first query routed to them.
+    """
+
+    def __init__(
+        self,
+        graph: Union[LabeledGraph, object],
+        config: Optional[SearchConfig] = None,
+        result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE,
+        result_cache_policy: Optional[object] = None,
+    ) -> None:
+        if not isinstance(graph, LabeledGraph):
+            graph = getattr(graph, "graph", graph)
+        if not isinstance(graph, LabeledGraph):
+            raise TypeError(f"expected a LabeledGraph or bundle, got {type(graph)!r}")
+        self.graph: LabeledGraph = graph
+        self.config: SearchConfig = config if config is not None else SearchConfig()
+        self._result_cache_size = result_cache_size
+        self._result_cache_policy = result_cache_policy
+        # Lock order (outermost first): partition -> shards; the counters
+        # lock is a leaf, never held while acquiring another lock.  The
+        # latency histogram carries its own internal lock.
+        self._partition_lock = threading.Lock()
+        self._shards_lock = threading.Lock()
+        self._counters_lock = threading.Lock()
+        self._counters: Dict[str, int] = {
+            "partitions": 0,
+            "searches": 0,
+            "cross_shard_queries": 0,
+            "shard_engines_built": 0,
+        }
+        self._latency = LatencyHistogram()
+        self._components: List[Set[Vertex]] = []
+        self._routing: Dict[Vertex, int] = {}
+        self._shards: Dict[int, BCCEngine] = {}
+        self._graph_version: int = -1
+        self._partition()
+
+    # ------------------------------------------------------------------
+    # partitioning & routing
+    # ------------------------------------------------------------------
+    def _partition(self) -> None:
+        """(Re)compute components, the routing table and empty shard slots.
+
+        Runs under the partition lock; callers outside ``__init__`` go
+        through :meth:`_check_version` so one graph mutation produces
+        exactly one re-partition however many threads observe it.
+        """
+        with self._partition_lock:
+            version = self.graph.version()
+            if version == self._graph_version:
+                return
+            components = connected_components(self.graph)
+            routing: Dict[Vertex, int] = {}
+            for shard_id, component in enumerate(components):
+                for vertex in component:
+                    routing[vertex] = shard_id
+            with self._shards_lock:
+                self._components = components
+                self._routing = routing
+                self._shards = {}
+            self._graph_version = version
+            self._count("partitions")
+
+    def _check_version(self) -> None:
+        """Re-partition exactly once when the underlying graph mutated."""
+        if self.graph.version() != self._graph_version:
+            self._partition()
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        with self._counters_lock:
+            self._counters[name] += amount
+
+    def shard_count(self) -> int:
+        """Number of connected-component shards in the current partition."""
+        self._check_version()
+        return len(self._components)
+
+    def shard_of(self, vertex: Vertex) -> int:
+        """The shard id serving ``vertex`` (raises for unknown vertices)."""
+        self._check_version()
+        shard_id = self._routing.get(vertex)
+        if shard_id is None:
+            raise VertexNotFoundError(vertex)
+        return shard_id
+
+    def shards_built(self) -> List[int]:
+        """Shard ids whose engine exists (i.e. someone queried them)."""
+        self._check_version()
+        with self._shards_lock:
+            return sorted(self._shards)
+
+    def shard_engine(self, shard_id: int) -> BCCEngine:
+        """The (lazily created, prepared) engine serving ``shard_id``.
+
+        The double-checked fill under the shards lock mirrors the
+        monolithic engine's fill-once caches: concurrent queries to a cold
+        shard build its subgraph and engine exactly once, and the builder
+        prepares it (one counted CSR freeze of *that component only*)
+        before any query runs.
+        """
+        self._check_version()
+        if not 0 <= shard_id < len(self._components):
+            raise IndexError(f"no shard {shard_id}")
+        engine = self._shards.get(shard_id)
+        if engine is not None:
+            return engine
+        built = False
+        with self._shards_lock:
+            engine = self._shards.get(shard_id)
+            if engine is None:
+                subgraph = self.graph.induced_subgraph(
+                    self._components[shard_id]
+                )
+                engine = BCCEngine(
+                    subgraph,
+                    self.config,
+                    result_cache_size=self._result_cache_size,
+                    result_cache_policy=self._result_cache_policy,
+                ).prepare()
+                self._shards[shard_id] = engine
+                built = True
+        if built:
+            self._count("shard_engines_built")
+        return engine
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    def _route(self, query: Query) -> Optional[int]:
+        """The single shard serving ``query``, or ``None`` when it spans shards.
+
+        Unknown query vertices raise :class:`VertexNotFoundError` exactly as
+        the monolithic engine does (on an empty graph every vertex is
+        unknown, so an empty :class:`ShardedBCCEngine` is serveable — every
+        query just fails vertex validation).
+        """
+        shard_ids = set()
+        for vertex in query.vertices:
+            shard_id = self._routing.get(vertex)
+            if shard_id is None:
+                raise VertexNotFoundError(vertex)
+            shard_ids.add(shard_id)
+        if len(shard_ids) > 1:
+            return None
+        return shard_ids.pop()
+
+    def _cross_shard_response(
+        self, query: Query, method: str, elapsed: float
+    ) -> SearchResponse:
+        """The short-circuit answer for a query spanning components."""
+        return SearchResponse(
+            method=method,
+            query=query.vertices,
+            status=STATUS_EMPTY,
+            reason=REASON_CROSS_SHARD,
+            timings={
+                "total_seconds": elapsed,
+                "index_build_seconds": 0.0,
+                "query_seconds": elapsed,
+            },
+        )
+
+    def search(
+        self,
+        query: Query,
+        *,
+        config: Optional[SearchConfig] = None,
+        instrumentation: Optional[SearchInstrumentation] = None,
+        use_cache: bool = True,
+    ) -> SearchResponse:
+        """Serve one query from the shard that owns its vertices.
+
+        Same surface and semantics as :meth:`BCCEngine.search`, plus
+        routing: a query whose vertices span components short-circuits to
+        ``status="empty"`` with ``reason=REASON_CROSS_SHARD`` — a normal
+        answer, never an exception — because no connected community can
+        contain vertices of different components.  The method name is still
+        resolved first, so unknown methods raise exactly as the monolithic
+        engine's would.
+
+        Note the router validates *vertex existence and placement* only; a
+        cross-shard query with a structural defect the method would have
+        rejected (wrong arity, duplicate labels) is answered as cross-shard
+        empty — the method never runs, so its validation never sees it.
+        """
+        start = time.perf_counter()
+        self._check_version()
+        spec = get_method(query.method)  # unknown-method parity: raises here
+        shard_id = self._route(query)
+        if shard_id is None:
+            self._count("searches")
+            self._count("cross_shard_queries")
+            elapsed = time.perf_counter() - start
+            self._latency.observe(elapsed)
+            return self._cross_shard_response(query, spec.name, elapsed)
+        engine = self.shard_engine(shard_id)
+        response = engine.search(
+            query,
+            config=config,
+            instrumentation=instrumentation,
+            use_cache=use_cache,
+        )
+        self._count("searches")
+        self._latency.observe(time.perf_counter() - start)
+        return response
+
+    def search_many(
+        self,
+        queries: Union[BatchQuery, Iterable[Query]],
+        *,
+        config: Optional[SearchConfig] = None,
+        instrumentation: Optional[SearchInstrumentation] = None,
+        on_error: str = "raise",
+        max_workers: int = 1,
+        use_cache: bool = True,
+    ) -> List[SearchResponse]:
+        """Scatter-gather a batch across shards, preserving batch semantics.
+
+        Responses are position-aligned with the input whatever
+        ``max_workers``; ``on_error="return"`` converts per-query failures
+        (including routing failures — a query naming an unknown vertex)
+        into position-aligned ``status="error"`` rows exactly as
+        :meth:`BCCEngine.search_many` does, and batch-structure errors
+        always raise.  Shards the batch never routes to are never built —
+        a batch touching only shard A leaves shard B at zero cost.
+
+        ``max_workers > 1`` serves queries from one thread pool spanning
+        shards; each shard engine's fill-once caches keep preparation
+        exactly-once per shard under contention.
+        """
+        # One shared implementation with the monolithic engine, so batch
+        # semantics can never diverge.  No ``prepare`` hook: laziness is
+        # the point — only the shards the batch routes to get built.
+        return serve_batch(
+            self,
+            queries,
+            config=config,
+            instrumentation=instrumentation,
+            on_error=on_error,
+            max_workers=max_workers,
+            use_cache=use_cache,
+        )
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def explain(
+        self, query: Query, *, config: Optional[SearchConfig] = None
+    ) -> Dict[str, object]:
+        """Describe routing plus the owning shard's engine-level explain.
+
+        Cross-shard queries are explained (``"cross_shard": True`` with the
+        shard each vertex routes to) without building any shard engine.
+        """
+        self._check_version()
+        spec = get_method(query.method)
+        placements = {}
+        for vertex in query.vertices:
+            shard_id = self._routing.get(vertex)
+            if shard_id is None:
+                raise VertexNotFoundError(vertex)
+            placements[vertex] = shard_id
+        shard_ids = set(placements.values())
+        info: Dict[str, object] = {
+            "method": spec.name,
+            "query": tuple(query.vertices),
+            "routing": {
+                "shards": len(self._components),
+                "placements": {str(v): s for v, s in placements.items()},
+                "cross_shard": len(shard_ids) > 1,
+            },
+        }
+        if len(shard_ids) == 1:
+            shard_id = shard_ids.pop()
+            info["shard"] = shard_id
+            info["engine"] = self.shard_engine(shard_id).explain(
+                query, config=config
+            )
+        return info
+
+    def counters_snapshot(self) -> Dict[str, int]:
+        """A consistent copy of the serving-layer (router) counters."""
+        with self._counters_lock:
+            return dict(self._counters)
+
+    def stats(self, name: str = "sharded-engine") -> ServingStats:
+        """The stats-endpoint snapshot: router + per-shard engine stats.
+
+        Never-built shards appear with explicitly all-zero engine counters
+        — the machine-checkable laziness proof that untouched components
+        performed no freezes, no index builds, no searches.
+        """
+        self._check_version()
+        with self._shards_lock:
+            components = list(self._components)
+            shards = dict(self._shards)
+        blocks: List[Dict[str, object]] = []
+        for shard_id, component in enumerate(components):
+            engine = shards.get(shard_id)
+            if engine is None:
+                blocks.append(
+                    {
+                        "shard": shard_id,
+                        "vertices": len(component),
+                        "built": False,
+                        "prepared": False,
+                        "index_built": False,
+                        "counters": zero_engine_counters(),
+                        "cache": {"entries": 0, "hits": 0, "misses": 0},
+                    }
+                )
+            else:
+                payload = engine_payload(engine)
+                blocks.append(
+                    {
+                        "shard": shard_id,
+                        "vertices": payload["vertices"],
+                        "edges": payload["edges"],
+                        "built": True,
+                        "prepared": payload["prepared"],
+                        "index_built": payload["index_built"],
+                        "counters": payload["counters"],
+                        "cache": payload["cache"],
+                    }
+                )
+        engine_totals = aggregate_counters(
+            [block["counters"] for block in blocks]  # type: ignore[misc]
+        )
+        cache_totals = {
+            "hits": engine_totals.get("result_cache_hits", 0),
+            "misses": engine_totals.get("result_cache_misses", 0),
+            "expirations": engine_totals.get("result_cache_expirations", 0),
+            "entries": sum(
+                int(block["cache"].get("entries", 0)) for block in blocks  # type: ignore[union-attr]
+            ),
+        }
+        lookups = cache_totals["hits"] + cache_totals["misses"]
+        cache_totals["hit_rate"] = (
+            cache_totals["hits"] / lookups if lookups else None
+        )
+        counters = dict(engine_totals)
+        # Router counters win the "searches" slot: they count every served
+        # query including cross-shard short-circuits no shard ever saw.
+        counters.update(self.counters_snapshot())
+        return ServingStats(
+            name=name,
+            kind="sharded",
+            graph={
+                "vertices": self.graph.num_vertices(),
+                "edges": self.graph.num_edges(),
+                "version": self.graph.version(),
+                "components": len(components),
+            },
+            counters=counters,
+            cache=cache_totals,
+            latency=self._latency.snapshot(),
+            shards=tuple(blocks),
+        )
+
+    def observe_latency(self, seconds: float) -> None:
+        """Feed the latency histogram (for callers timing at their edge)."""
+        self._latency.observe(seconds)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedBCCEngine(|V|={self.graph.num_vertices()}, "
+            f"shards={len(self._components)}, "
+            f"built={len(self._shards)}, "
+            f"searches={self._counters['searches']})"
+        )

@@ -50,18 +50,18 @@ class TestFillOnceUnderContention:
         engine = BCCEngine(bundle.graph)
         responses = engine.search_many(queries, max_workers=STRESS_WORKERS)
         assert len(responses) == len(queries)
-        assert engine.counters["searches"] == len(queries)
-        assert engine.counters["csr_freezes"] == 1
-        assert engine.counters["index_builds"] == 1
-        assert engine.counters["prepare_calls"] == 1
+        assert engine.counters_snapshot()["searches"] == len(queries)
+        assert engine.counters_snapshot()["csr_freezes"] == 1
+        assert engine.counters_snapshot()["index_builds"] == 1
+        assert engine.counters_snapshot()["prepare_calls"] == 1
 
         # One build per label group: a sequential engine serving the same
         # batch builds exactly the groups the workload touches — the
         # threaded engine must not have built any group twice.
         sequential = BCCEngine(generate_baidu_network("tiny", seed=7).graph)
         sequential.search_many(queries)
-        assert engine.counters["group_builds"] == sequential.counters["group_builds"]
-        assert engine.counters["group_builds"] <= len(bundle.graph.labels())
+        assert engine.counters_snapshot()["group_builds"] == sequential.counters_snapshot()["group_builds"]
+        assert engine.counters_snapshot()["group_builds"] <= len(bundle.graph.labels())
 
     def test_group_fills_exactly_once_when_hammered(self, paper_graph):
         engine = BCCEngine(paper_graph)
@@ -73,7 +73,7 @@ class TestFillOnceUnderContention:
 
         with ThreadPoolExecutor(max_workers=STRESS_WORKERS) as pool:
             groups = list(pool.map(lambda _: fetch(), range(STRESS_WORKERS)))
-        assert engine.counters["group_builds"] == 1
+        assert engine.counters_snapshot()["group_builds"] == 1
         assert all(group is groups[0] for group in groups)
 
     def test_index_builds_exactly_once_when_hammered(self, paper_graph):
@@ -86,7 +86,7 @@ class TestFillOnceUnderContention:
 
         with ThreadPoolExecutor(max_workers=STRESS_WORKERS) as pool:
             indexes = list(pool.map(lambda _: fetch(), range(STRESS_WORKERS)))
-        assert engine.counters["index_builds"] == 1
+        assert engine.counters_snapshot()["index_builds"] == 1
         assert all(index is indexes[0] for index in indexes)
 
     def test_prepare_freezes_exactly_once_when_hammered(self, paper_graph):
@@ -99,8 +99,8 @@ class TestFillOnceUnderContention:
 
         with ThreadPoolExecutor(max_workers=STRESS_WORKERS) as pool:
             list(pool.map(lambda _: prep(), range(STRESS_WORKERS)))
-        assert engine.counters["csr_freezes"] == 1
-        assert engine.counters["prepare_calls"] == STRESS_WORKERS
+        assert engine.counters_snapshot()["csr_freezes"] == 1
+        assert engine.counters_snapshot()["prepare_calls"] == STRESS_WORKERS
 
 
 class TestConcurrentParity:
@@ -156,7 +156,7 @@ class TestConcurrentParity:
         sequential = BCCEngine(tiny_baidu_bundle.graph)
         sequential.search_many(queries)
         for key in ("index_builds", "group_builds", "searches"):
-            assert threaded.counters[key] == sequential.counters[key], key
+            assert threaded.counters_snapshot()[key] == sequential.counters_snapshot()[key], key
 
 
 class TestMutationDuringServing:
@@ -165,10 +165,10 @@ class TestMutationDuringServing:
         queries = _batch_queries(bundle, count=4)
         engine = BCCEngine(bundle.graph)
         engine.search_many(queries)
-        assert engine.counters["csr_freezes"] == 1
-        assert engine.counters["index_builds"] == 1
-        assert engine.counters["invalidations"] == 0
-        groups_before = engine.counters["group_builds"]
+        assert engine.counters_snapshot()["csr_freezes"] == 1
+        assert engine.counters_snapshot()["index_builds"] == 1
+        assert engine.counters_snapshot()["invalidations"] == 0
+        groups_before = engine.counters_snapshot()["group_builds"]
 
         # One mutation: every cache is invalidated once, then rebuilt once
         # by the next (threaded) batch — no repeated invalidation per query
@@ -176,10 +176,10 @@ class TestMutationDuringServing:
         u = next(iter(bundle.graph.vertices()))
         bundle.graph.add_vertex("fresh-hire", label=bundle.graph.label(u))
         engine.search_many(queries, max_workers=STRESS_WORKERS)
-        assert engine.counters["invalidations"] == 1
-        assert engine.counters["csr_freezes"] == 2
-        assert engine.counters["index_builds"] == 2
-        assert engine.counters["group_builds"] == 2 * groups_before
+        assert engine.counters_snapshot()["invalidations"] == 1
+        assert engine.counters_snapshot()["csr_freezes"] == 2
+        assert engine.counters_snapshot()["index_builds"] == 2
+        assert engine.counters_snapshot()["group_builds"] == 2 * groups_before
 
     def test_hostile_runner_mutating_mid_batch_invalidates_once(self, paper_graph):
         """A runner that mutates the graph between queries of one batch:
@@ -209,8 +209,8 @@ class TestMutationDuringServing:
             # The two post-mutation queries observed one version change:
             # one invalidation, one label-group rebuild per touched label
             # (2 labels before + 2 after), not one per query.
-            assert engine.counters["invalidations"] == 1
-            assert engine.counters["group_builds"] == 4
+            assert engine.counters_snapshot()["invalidations"] == 1
+            assert engine.counters_snapshot()["group_builds"] == 4
         finally:
             unregister_method("hostile-mutator")
 
@@ -223,7 +223,7 @@ class TestMutationDuringServing:
         paper_graph.add_edge("ql", "u1")
         response = engine.search(query)
         assert "cache_hit" not in response.timings
-        assert engine.counters["invalidations"] == 1
+        assert engine.counters_snapshot()["invalidations"] == 1
 
     def test_concurrent_result_cache_hits_are_consistent(self, paper_graph):
         engine = BCCEngine(paper_graph, SearchConfig(k1=4, k2=3))
@@ -238,5 +238,5 @@ class TestMutationDuringServing:
         for response in responses:
             assert response.status == baseline.status
             assert response.vertices == baseline.vertices
-        assert engine.counters["result_cache_hits"] == 32
-        assert engine.counters["result_cache_misses"] == 1
+        assert engine.counters_snapshot()["result_cache_hits"] == 32
+        assert engine.counters_snapshot()["result_cache_misses"] == 1

@@ -41,15 +41,29 @@ class TestConstruction:
         with pytest.raises(TypeError):
             BCCEngine(42)
 
+    def test_counters_view_is_read_only_and_snapshot_is_a_copy(self, paper_graph):
+        """The legacy ``counters`` attribute was a public mutable dict that
+        callers could corrupt without the lock; it is now a read-only view,
+        and ``counters_snapshot()`` returns an independent copy."""
+        engine = BCCEngine(paper_graph).prepare()
+        view = engine.counters
+        assert view["prepare_calls"] == 1
+        with pytest.raises(TypeError):
+            view["prepare_calls"] = 999  # type: ignore[index]
+        snapshot = engine.counters_snapshot()
+        assert snapshot == dict(view)
+        snapshot["prepare_calls"] = 999  # the caller's copy, not the engine's
+        assert engine.counters["prepare_calls"] == 1
+
     def test_prepare_chains_and_counts_once(self, paper_graph):
         engine = BCCEngine(paper_graph).prepare()
         assert engine.is_prepared()
-        assert engine.counters["csr_freezes"] <= 1
+        assert engine.counters_snapshot()["csr_freezes"] <= 1
         frozen = paper_graph.freeze()
         engine.prepare()
         assert paper_graph.freeze() is frozen
-        assert engine.counters["csr_freezes"] <= 1
-        assert engine.counters["prepare_calls"] == 2
+        assert engine.counters_snapshot()["csr_freezes"] <= 1
+        assert engine.counters_snapshot()["prepare_calls"] == 2
 
 
 class TestSearch:
@@ -139,7 +153,7 @@ class TestIndexLifecycle:
         engine = BCCEngine(paper_graph)
         first = engine.search(Query("l2p-bcc", ("ql", "qr")))
         second = engine.search(Query("l2p-bcc", ("ql", "qr")))
-        assert engine.counters["index_builds"] == 1
+        assert engine.counters_snapshot()["index_builds"] == 1
         assert first.timings["index_build_seconds"] > 0
         assert second.timings["index_build_seconds"] == 0.0
         assert first.vertices == second.vertices
@@ -148,7 +162,7 @@ class TestIndexLifecycle:
         index = BCIndex(paper_graph)
         engine = BCCEngine(paper_graph, index=index)
         engine.search(Query("l2p-bcc", ("ql", "qr")))
-        assert engine.counters["index_builds"] == 0
+        assert engine.counters_snapshot()["index_builds"] == 0
         assert engine.index is index
 
     def test_unbuilt_index_is_built_on_first_use(self, paper_graph):
@@ -156,7 +170,7 @@ class TestIndexLifecycle:
         engine = BCCEngine(paper_graph, index=index)
         assert not engine.has_index()
         engine.search(Query("l2p-bcc", ("ql", "qr")))
-        assert engine.counters["index_builds"] == 1
+        assert engine.counters_snapshot()["index_builds"] == 1
         assert engine.has_index()
 
 
@@ -165,7 +179,7 @@ class TestVersionInvalidation:
         engine = BCCEngine(paper_graph).prepare()
         engine.search(Query("lp-bcc", ("ql", "qr")))
         engine.ensure_index()
-        assert engine.counters["group_builds"] >= 1
+        assert engine.counters_snapshot()["group_builds"] >= 1
         paper_graph.add_edge("ql", "u1")
         assert not engine.is_prepared()
         assert not engine.has_index()
@@ -184,7 +198,7 @@ class TestExplain:
         # Section 3.5 defaults: coreness of ql within SE is 4, of qr within UI is 3.
         assert resolved["k1"] == 4 and resolved["k2"] == 3
         # Explaining does not run the search.
-        assert engine.counters["searches"] == 0
+        assert engine.counters_snapshot()["searches"] == 0
 
     def test_explain_l2p_defers_unset_k(self, paper_graph):
         info = BCCEngine(paper_graph).explain(Query("l2p-bcc", ("ql", "qr")))
@@ -290,13 +304,13 @@ class TestSearchMany:
         responses = engine.search_many(queries)
         assert len(responses) == len(queries)
         assert any(response.found for response in responses)
-        assert engine.counters["searches"] == len(queries)
+        assert engine.counters_snapshot()["searches"] == len(queries)
         # The whole batch paid preparation exactly once.
-        assert engine.counters["csr_freezes"] == 1
-        assert engine.counters["index_builds"] == 1
-        assert engine.counters["prepare_calls"] == 1
+        assert engine.counters_snapshot()["csr_freezes"] == 1
+        assert engine.counters_snapshot()["index_builds"] == 1
+        assert engine.counters_snapshot()["prepare_calls"] == 1
         # Label groups were built at most once per label, not per query.
-        assert engine.counters["group_builds"] <= len(bundle.graph.labels())
+        assert engine.counters_snapshot()["group_builds"] <= len(bundle.graph.labels())
         # And only the first L2P-BCC query paid the index build.
         index_payers = [
             r for r in responses if r.timings["index_build_seconds"] > 0
@@ -404,15 +418,15 @@ class TestResultCache:
         query = Query("online-bcc", ("ql", "qr"))
         first = engine.search(query)
         second = engine.search(query)
-        assert engine.counters["result_cache_misses"] == 1
-        assert engine.counters["result_cache_hits"] == 1
+        assert engine.counters_snapshot()["result_cache_misses"] == 1
+        assert engine.counters_snapshot()["result_cache_hits"] == 1
         assert second.timings["cache_hit"] == 1.0
         assert "cache_hit" not in first.timings
         assert second.status == first.status
         assert second.vertices == first.vertices
         assert second.result is first.result  # the native result is shared
         assert second.vertices is not first.vertices  # the member set is not
-        assert engine.counters["searches"] == 2
+        assert engine.counters_snapshot()["searches"] == 2
 
     def test_distinct_configs_do_not_collide(self, paper_graph):
         engine = BCCEngine(paper_graph)
@@ -424,7 +438,7 @@ class TestResultCache:
             Query("online-bcc", query, config=SearchConfig(k1=99, k2=99))
         )
         assert found.status == STATUS_OK and empty.status == STATUS_EMPTY
-        assert engine.counters["result_cache_hits"] == 0
+        assert engine.counters_snapshot()["result_cache_hits"] == 0
 
     def test_bypass_per_call(self, paper_graph):
         engine = BCCEngine(paper_graph, SearchConfig(k1=4, k2=3))
@@ -432,7 +446,7 @@ class TestResultCache:
         engine.search(query)
         bypassed = engine.search(query, use_cache=False)
         assert "cache_hit" not in bypassed.timings
-        assert engine.counters["result_cache_hits"] == 0
+        assert engine.counters_snapshot()["result_cache_hits"] == 0
 
     def test_caller_instrumentation_bypasses_cache(self, paper_graph):
         from repro.eval.instrumentation import SearchInstrumentation
@@ -445,7 +459,7 @@ class TestResultCache:
         # The algorithm actually ran and filled the caller's counters.
         assert response.instrumentation is inst
         assert inst.butterfly_counting_calls >= 1
-        assert engine.counters["result_cache_hits"] == 0
+        assert engine.counters_snapshot()["result_cache_hits"] == 0
 
     def test_zero_size_disables_caching(self, paper_graph):
         engine = BCCEngine(
@@ -454,8 +468,8 @@ class TestResultCache:
         query = Query("online-bcc", ("ql", "qr"))
         engine.search(query)
         engine.search(query)
-        assert engine.counters["result_cache_hits"] == 0
-        assert engine.counters["result_cache_misses"] == 0
+        assert engine.counters_snapshot()["result_cache_hits"] == 0
+        assert engine.counters_snapshot()["result_cache_misses"] == 0
         assert engine.result_cache_len() == 0
 
     def test_lru_evicts_oldest_entry(self, paper_graph):

@@ -207,7 +207,7 @@ class TestTimingSplit:
         assert first.index_seconds > 0
         assert second.index_seconds == 0.0
         assert first.vertices == second.vertices
-        assert engine.counters["index_builds"] == 1
+        assert engine.counters_snapshot()["index_builds"] == 1
 
     def test_caller_supplied_index_keeps_seconds_pure(self, tiny_baidu_bundle):
         q_left, q_right = tiny_baidu_bundle.default_query()

@@ -1,0 +1,219 @@
+"""Cache admission policies on the engine's LRU result cache.
+
+Acceptance: expired entries miss (and are evicted), and a per-method budget
+evicts only that method's entries.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import BCCEngine, Query, SearchConfig
+from repro.exceptions import QueryError
+from repro.serving import (
+    CacheAdmissionPolicy,
+    CompositePolicy,
+    MethodBudgetPolicy,
+    ShardedBCCEngine,
+    TTLPolicy,
+)
+
+
+class FakeClock:
+    """A hand-advanced clock so TTL tests never sleep."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+def query_with_k(k: int) -> Query:
+    return Query("online-bcc", ("ql", "qr"), config=SearchConfig(k1=k, k2=k))
+
+
+class TestBasePolicy:
+    def test_defaults_admit_everything_forever(self):
+        policy = CacheAdmissionPolicy()
+        assert policy.admit("lp-bcc", object()) is True
+        assert policy.expired("lp-bcc", 1e9) is False
+        assert policy.method_budget("lp-bcc") is None
+        assert policy.now() >= 0.0
+
+
+class TestTTLPolicy:
+    def test_rejects_non_positive_ttl(self):
+        with pytest.raises(QueryError):
+            TTLPolicy(0)
+        with pytest.raises(QueryError):
+            TTLPolicy(-3)
+
+    def test_fresh_entries_hit(self, paper_graph, clock):
+        engine = BCCEngine(
+            paper_graph,
+            SearchConfig(k1=4, k2=3),
+            result_cache_policy=TTLPolicy(30.0, clock=clock),
+        )
+        query = Query("online-bcc", ("ql", "qr"))
+        engine.search(query)
+        clock.advance(29.0)
+        assert engine.search(query).timings.get("cache_hit") == 1.0
+
+    def test_expired_entries_miss_and_are_evicted(self, paper_graph, clock):
+        """Acceptance: an entry past its TTL is a miss, not a replay."""
+        engine = BCCEngine(
+            paper_graph,
+            SearchConfig(k1=4, k2=3),
+            result_cache_policy=TTLPolicy(30.0, clock=clock),
+        )
+        query = Query("online-bcc", ("ql", "qr"))
+        engine.search(query)
+        assert engine.result_cache_len() == 1
+        clock.advance(31.0)
+        stale = engine.search(query)
+        assert "cache_hit" not in stale.timings  # the algorithm re-ran
+        counters = engine.counters_snapshot()
+        assert counters["result_cache_expirations"] == 1
+        assert counters["result_cache_hits"] == 0
+        # The re-run re-cached a fresh entry, which now hits again.
+        assert engine.search(query).timings.get("cache_hit") == 1.0
+
+    def test_cache_info_reports_expirations_and_policy(self, paper_graph, clock):
+        engine = BCCEngine(
+            paper_graph,
+            SearchConfig(k1=4, k2=3),
+            result_cache_policy=TTLPolicy(5.0, clock=clock),
+        )
+        query = Query("online-bcc", ("ql", "qr"))
+        engine.search(query)
+        clock.advance(6.0)
+        engine.search(query)
+        info = engine.result_cache_info()
+        assert info["expirations"] == 1
+        assert "TTLPolicy" in info["policy"]
+        assert info["hit_rate"] == 0.0
+
+
+class TestMethodBudgetPolicy:
+    def test_rejects_negative_budgets(self):
+        with pytest.raises(QueryError):
+            MethodBudgetPolicy({"ctc": -1})
+        with pytest.raises(QueryError):
+            MethodBudgetPolicy({}, default=-2)
+
+    def test_budget_evicts_only_that_methods_entries(self, paper_graph):
+        """Acceptance: online-bcc's burst evicts online-bcc's oldest entry;
+        the ctc entry survives untouched."""
+        engine = BCCEngine(
+            paper_graph,
+            result_cache_policy=MethodBudgetPolicy({"online-bcc": 2}),
+        )
+        engine.search(Query("ctc", ("ql", "qr")))
+        for k in (1, 2, 3):
+            engine.search(query_with_k(k))
+        info = engine.result_cache_info()
+        assert info["entries_per_method"] == {"ctc": 1, "online-bcc": 2}
+        assert engine.counters_snapshot()["result_cache_budget_evictions"] == 1
+        # The ctc answer still hits; online-bcc's oldest (k=1) was evicted,
+        # its newest (k=3) kept.
+        assert (
+            engine.search(Query("ctc", ("ql", "qr"))).timings.get("cache_hit")
+            == 1.0
+        )
+        assert "cache_hit" not in engine.search(query_with_k(1)).timings
+        assert engine.search(query_with_k(3)).timings.get("cache_hit") == 1.0
+
+    def test_under_budget_methods_keep_every_entry(self, paper_graph):
+        """Regression: with 2 entries under a budget of 3 the eviction
+        slice bound used to go negative and evict the oldest entry anyway
+        (budget B silently behaved like ~B/2)."""
+        engine = BCCEngine(
+            paper_graph,
+            result_cache_policy=MethodBudgetPolicy({"online-bcc": 3}),
+        )
+        engine.search(query_with_k(1))
+        engine.search(query_with_k(2))
+        assert engine.result_cache_info()["entries_per_method"] == {
+            "online-bcc": 2
+        }
+        assert engine.counters_snapshot()["result_cache_budget_evictions"] == 0
+        assert engine.search(query_with_k(1)).timings.get("cache_hit") == 1.0
+        assert engine.search(query_with_k(2)).timings.get("cache_hit") == 1.0
+
+    def test_zero_budget_refuses_admission(self, paper_graph):
+        engine = BCCEngine(
+            paper_graph, result_cache_policy=MethodBudgetPolicy({"ctc": 0})
+        )
+        engine.search(Query("ctc", ("ql", "qr")))
+        engine.search(Query("ctc", ("ql", "qr")))
+        counters = engine.counters_snapshot()
+        assert counters["result_cache_rejections"] >= 1
+        assert counters["result_cache_hits"] == 0
+        assert engine.result_cache_len() == 0
+
+    def test_default_budget_applies_to_unlisted_methods(self, paper_graph):
+        engine = BCCEngine(
+            paper_graph,
+            result_cache_policy=MethodBudgetPolicy({}, default=1),
+        )
+        engine.search(query_with_k(1))
+        engine.search(query_with_k(2))
+        assert engine.result_cache_info()["entries_per_method"] == {
+            "online-bcc": 1
+        }
+
+
+class TestCompositePolicy:
+    def test_combines_ttl_and_budget(self, paper_graph, clock):
+        policy = CompositePolicy(
+            [
+                TTLPolicy(10.0, clock=clock),
+                MethodBudgetPolicy({"online-bcc": 1}),
+            ],
+            clock=clock,
+        )
+        engine = BCCEngine(paper_graph, result_cache_policy=policy)
+        engine.search(query_with_k(1))
+        engine.search(query_with_k(2))  # budget 1: k=1 evicted
+        assert engine.result_cache_len() == 1
+        assert engine.search(query_with_k(2)).timings.get("cache_hit") == 1.0
+        clock.advance(11.0)  # TTL: the survivor expires too
+        assert "cache_hit" not in engine.search(query_with_k(2)).timings
+
+    def test_tightest_budget_wins_and_any_member_expires(self):
+        composite = CompositePolicy(
+            [MethodBudgetPolicy({"x": 5}), MethodBudgetPolicy({"x": 2})]
+        )
+        assert composite.method_budget("x") == 2
+        assert composite.method_budget("y") is None
+        expiring = CompositePolicy([CacheAdmissionPolicy(), TTLPolicy(1.0)])
+        assert expiring.expired("x", 2.0) is True
+        assert expiring.admit("x", object()) is True
+
+
+class TestPolicyOnShardedEngine:
+    def test_policy_reaches_every_shard_engine(
+        self, two_component_paper_graph, clock
+    ):
+        """The sharded engine forwards one shared policy to its shards."""
+        engine = ShardedBCCEngine(
+            two_component_paper_graph,
+            SearchConfig(k1=4, k2=3, b=1),
+            result_cache_policy=TTLPolicy(30.0, clock=clock),
+        )
+        query = Query("online-bcc", ("ql", "qr"))
+        engine.search(query)
+        assert engine.search(query).timings.get("cache_hit") == 1.0
+        clock.advance(31.0)
+        assert "cache_hit" not in engine.search(query).timings
+        stats = engine.stats()
+        assert stats.cache["expirations"] == 1
