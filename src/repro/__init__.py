@@ -57,14 +57,22 @@ from repro.serving import (
     ServingStats,
     ShardedBCCEngine,
 )
+from repro.server import (
+    Gateway,
+    GatewayClient,
+    ReplicaSet,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "BCCEngine",
     "BCIndex",
     "BatchQuery",
+    "Gateway",
+    "GatewayClient",
     "GraphDirectory",
+    "ReplicaSet",
     "ServingStats",
     "ShardedBCCEngine",
     "Query",

@@ -127,19 +127,27 @@ def is_caller_error(query: Query, exc: Exception) -> bool:
     return isinstance(exc, QueryError)
 
 
+def reason_for_error(exc: Exception) -> str:
+    """The machine-readable ``REASON_*`` code for a caller error.
+
+    Shared by :func:`error_response_for` and the HTTP gateway (which maps
+    the reason onwards to an HTTP status through
+    :data:`repro.exceptions.HTTP_STATUS_BY_REASON`).
+    """
+    if isinstance(exc, VertexNotFoundError):
+        return REASON_MISSING_VERTEX
+    if isinstance(exc, UnknownMethodError):
+        return REASON_UNKNOWN_METHOD
+    return REASON_INVALID_QUERY
+
+
 def error_response_for(query: Query, exc: Exception) -> SearchResponse:
     """A position-aligned ``status="error"`` response for a failed query."""
-    if isinstance(exc, VertexNotFoundError):
-        reason = REASON_MISSING_VERTEX
-    elif isinstance(exc, UnknownMethodError):
-        reason = REASON_UNKNOWN_METHOD
-    else:
-        reason = REASON_INVALID_QUERY
     return SearchResponse(
         method=query.method,
         query=query.vertices,
         status=STATUS_ERROR,
-        reason=reason,
+        reason=reason_for_error(exc),
         error=_error_message(exc),
     )
 

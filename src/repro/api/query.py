@@ -77,6 +77,24 @@ class Query:
             )
         return (self.vertices[0], self.vertices[1])
 
+    def to_payload(self) -> Dict[str, object]:
+        """This query as the HTTP gateway's JSON wire payload.
+
+        Delegates to :mod:`repro.server.protocol` (imported lazily — the
+        codec imports this module); vertices must be JSON scalars or the
+        codec refuses with ``ProtocolError``.
+        """
+        from repro.server.protocol import encode_query
+
+        return encode_query(self)
+
+    @classmethod
+    def from_payload(cls, payload: object) -> "Query":
+        """Restore a query from its wire payload (exact round-trip)."""
+        from repro.server.protocol import decode_query
+
+        return decode_query(payload)
+
 
 @dataclass(frozen=True)
 class BatchQuery:
@@ -105,6 +123,19 @@ class BatchQuery:
 
     def __len__(self) -> int:
         return len(self.queries)
+
+    def to_payload(self) -> Dict[str, object]:
+        """This batch as the HTTP gateway's JSON wire payload."""
+        from repro.server.protocol import encode_batch
+
+        return encode_batch(self)
+
+    @classmethod
+    def from_payload(cls, payload: object) -> "BatchQuery":
+        """Restore a batch from its wire payload (exact round-trip)."""
+        from repro.server.protocol import decode_batch
+
+        return decode_batch(payload)
 
 
 @dataclass
@@ -176,6 +207,26 @@ class SearchResponse:
         if not self.found:
             return math.inf
         return float(getattr(self.result, "query_distance", 0.0))
+
+    def to_payload(self) -> Dict[str, object]:
+        """The observable surface of this response as a wire payload.
+
+        ``query_distance`` and ``iterations`` are materialized (they are
+        derived properties in-process) and ``math.inf`` is encoded as the
+        string ``"inf"`` — never as non-standard JSON ``Infinity``.  The
+        method-native ``result`` object and the instrumentation stay
+        server-side.
+        """
+        from repro.server.protocol import encode_response
+
+        return encode_response(self)
+
+    @classmethod
+    def from_payload(cls, payload: object) -> "SearchResponse":
+        """Restore a response whose observable fields equal the served one."""
+        from repro.server.protocol import decode_response
+
+        return decode_response(payload)
 
     def raise_for_empty(self) -> "SearchResponse":
         """Raise :class:`EmptyCommunityError` when empty; return self otherwise.

@@ -78,6 +78,51 @@ REASON_CROSS_SHARD = "cross-shard"
 REASON_INVALID_QUERY = "invalid-query"
 REASON_UNKNOWN_METHOD = "unknown-method"
 
+#: Every registered reason code, derived from the module globals so a new
+#: ``REASON_*`` constant is automatically part of the contract (and the
+#: exhaustiveness test fails until :data:`HTTP_STATUS_BY_REASON` maps it).
+REASON_CODES = tuple(
+    sorted(
+        value
+        for name, value in globals().items()
+        if name.startswith("REASON_") and isinstance(value, str)
+    )
+)
+
+#: The single reason→HTTP-status table the HTTP gateway serves from.
+#:
+#: Only ``status="error"`` responses consult it: a missing *query* vertex is
+#: the HTTP resource-not-found case (404), every other caller error is a bad
+#: request (400).  Empty answers — including the sharded router's
+#: cross-shard short-circuit — are *successful* searches whose result is "no
+#: community", so they ship as 200 regardless of their reason code; the
+#: table still carries a 200 for each of them so the mapping is total over
+#: :data:`REASON_CODES` (enforced by an exhaustiveness test).
+HTTP_STATUS_BY_REASON = {
+    REASON_NO_CANDIDATE: 200,
+    REASON_NO_LEADER_PAIR: 200,
+    REASON_NO_COMMUNITY: 200,
+    REASON_QUERY_DISCONNECTED: 200,
+    REASON_NO_TRUSS: 200,
+    REASON_NO_CORE: 200,
+    REASON_CROSS_SHARD: 200,
+    REASON_MISSING_VERTEX: 404,
+    REASON_INVALID_QUERY: 400,
+    REASON_UNKNOWN_METHOD: 400,
+}
+
+
+def http_status_for_response(status: str, reason=None) -> int:
+    """The HTTP status code for a ``SearchResponse``-shaped answer.
+
+    ``status`` is the response's ``"ok" | "empty" | "error"``; only error
+    responses consult :data:`HTTP_STATUS_BY_REASON` (an unknown error reason
+    defaults to 400 — a caller error is never a server success).
+    """
+    if status != "error":
+        return 200
+    return HTTP_STATUS_BY_REASON.get(reason, 400)
+
 
 class EmptyCommunityError(ReproError):
     """Raised when no community satisfying the requested constraints exists.

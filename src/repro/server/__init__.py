@@ -1,0 +1,66 @@
+"""Process-level HTTP serving gateway over the serving tier.
+
+This package is the network boundary the ROADMAP asks for: everything built
+below it — prepared engines (:mod:`repro.api`), sharded multi-graph serving
+(:mod:`repro.serving`), caches and stats — becomes reachable by an actual
+remote client, with nothing beyond the Python standard library:
+
+* :mod:`repro.server.protocol` — the typed JSON wire codec for
+  :class:`~repro.api.Query` / :class:`~repro.api.BatchQuery` /
+  :class:`~repro.api.SearchResponse` with *exact* round-tripping
+  (``math.inf`` query distances ride as the string ``"inf"``, never as
+  non-standard JSON ``Infinity``).
+* :mod:`repro.server.app` — :class:`Gateway`, a ``ThreadingHTTPServer``
+  facade over a :class:`~repro.serving.GraphDirectory` (``GET /healthz``,
+  ``GET /graphs``, ``GET /stats``, ``POST /graphs/{name}/search |
+  /search_many | /explain``) with bounded-admission backpressure: a
+  semaphore caps in-flight search requests and overflow answers ``429`` +
+  ``Retry-After`` instead of queueing unboundedly.
+* :mod:`repro.server.replicas` — :class:`ReplicaSet`, N prepared engines
+  behind one engine-shaped front with least-loaded routing and merged
+  stats, so one hot graph scales horizontally in-process
+  (``GraphDirectory.add(..., replicas=N)``).
+* :mod:`repro.server.client` — :class:`GatewayClient`, a urllib-based
+  client mirroring the engine surface (``search`` / ``search_many`` /
+  ``explain`` / ``stats``), decoding wire responses back into
+  :class:`~repro.api.SearchResponse` objects.
+"""
+
+from repro.server.app import DEFAULT_MAX_IN_FLIGHT, Gateway
+from repro.server.client import (
+    GatewayClient,
+    GatewayError,
+    GatewayOverloadedError,
+)
+from repro.server.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_batch,
+    decode_query,
+    decode_response,
+    encode_batch,
+    encode_query,
+    encode_response,
+    json_dumps,
+    json_loads,
+)
+from repro.server.replicas import ReplicaSet
+
+__all__ = [
+    "DEFAULT_MAX_IN_FLIGHT",
+    "Gateway",
+    "GatewayClient",
+    "GatewayError",
+    "GatewayOverloadedError",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ReplicaSet",
+    "decode_batch",
+    "decode_query",
+    "decode_response",
+    "encode_batch",
+    "encode_query",
+    "encode_response",
+    "json_dumps",
+    "json_loads",
+]

@@ -1,0 +1,534 @@
+"""The HTTP gateway: a process boundary over :class:`GraphDirectory`.
+
+:class:`Gateway` wraps a :class:`repro.serving.GraphDirectory` in a
+``ThreadingHTTPServer`` (one thread per connection, stdlib only) and exposes
+the serving tier to remote callers:
+
+========  =================================  =====================================
+Verb      Path                               Meaning
+========  =================================  =====================================
+GET       ``/healthz``                       liveness + uptime + schema versions
+GET       ``/graphs``                        names currently served
+GET       ``/stats``                         ``GraphDirectory.stats_payload()``
+POST      ``/graphs/{name}/search``          one :class:`Query` → one response
+POST      ``/graphs/{name}/search_many``     a batch → position-aligned responses
+POST      ``/graphs/{name}/explain``         dispatch report, no search
+========  =================================  =====================================
+
+Two serving-tier policies live at this boundary:
+
+* **Bounded admission (backpressure).**  A semaphore caps the number of
+  in-flight POST requests; a request that cannot claim a slot is answered
+  ``429 Too Many Requests`` with a ``Retry-After`` header *immediately*
+  instead of queueing unboundedly in the accept backlog until the client
+  times out.  ``GET`` endpoints are exempt so operators can read
+  ``/stats`` from a saturated process.
+* **One status mapping.**  Response rows ship with the HTTP status derived
+  from the single reason→status table next to the reason codes
+  (:data:`repro.exceptions.HTTP_STATUS_BY_REASON`): missing query vertex →
+  404, malformed query / unknown method → 400, empty answers (cross-shard
+  included) → 200 — an empty community is a successful search.
+
+Every request emits one structured JSON access-log line on the
+``repro.server.access`` logger (method, path, status, duration, in-flight
+gauge) — parseable telemetry, not prose.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+from repro.api.engine import (
+    error_response_for,
+    is_caller_error,
+    reason_for_error,
+)
+from repro.exceptions import (
+    GraphNotFoundError,
+    QueryError,
+    VertexNotFoundError,
+    http_status_for_response,
+)
+from repro.server.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_batch,
+    decode_config,
+    decode_query,
+    encode_response,
+    json_dumps,
+    json_loads,
+    jsonable,
+)
+from repro.serving.stats import STATS_SCHEMA_VERSION
+
+__all__ = [
+    "DEFAULT_MAX_BODY_BYTES",
+    "DEFAULT_MAX_IN_FLIGHT",
+    "DEFAULT_RETRY_AFTER_SECONDS",
+    "Gateway",
+]
+
+#: Default cap on concurrently served POST requests.
+DEFAULT_MAX_IN_FLIGHT = 64
+
+#: Default ``Retry-After`` (seconds) on a 429 rejection.
+DEFAULT_RETRY_AFTER_SECONDS = 1
+
+#: Default cap on request body size (a query batch, not a graph upload).
+DEFAULT_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Structured access-log lines (one JSON document per request) land here.
+ACCESS_LOGGER = logging.getLogger("repro.server.access")
+
+#: POST verbs served under ``/graphs/{name}/...``.
+_POST_VERBS = ("search", "search_many", "explain")
+
+
+class _ClientError(Exception):
+    """Internal: abort request handling with a specific HTTP error."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+
+
+class _GatewayHTTPServer(ThreadingHTTPServer):
+    """One daemon thread per connection; the gateway object rides along."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+    gateway: "Gateway"
+
+
+class _GatewayRequestHandler(BaseHTTPRequestHandler):
+    server_version = "repro-gateway"
+    sys_version = ""
+    # HTTP/1.1 keep-alive: one connection (and one server thread) serves a
+    # client's whole session instead of paying accept + thread spawn per
+    # request — the difference between ~150 and ~1000 q/s on loopback.
+    # Every response carries Content-Length, which 1.1 requires.
+    protocol_version = "HTTP/1.1"
+    # Headers and body leave in separate writes; with Nagle on, the second
+    # write waits for the delayed ACK of the first (~40ms per request on a
+    # keep-alive connection).
+    disable_nagle_algorithm = True
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    @property
+    def gateway(self) -> "Gateway":
+        return self.server.gateway  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: object) -> None:
+        """Silence the default stderr chatter; access logs are structured."""
+
+    def _access_log(self, method: str, status: int, started: float) -> None:
+        record = {
+            "method": method,
+            "path": self.path,
+            "status": status,
+            "duration_ms": round((time.perf_counter() - started) * 1000.0, 3),
+            "in_flight": self.gateway.in_flight(),
+        }
+        ACCESS_LOGGER.info("%s", json.dumps(record, sort_keys=True))
+
+    def _send_json(
+        self,
+        status: int,
+        payload: object,
+        headers: Tuple[Tuple[str, str], ...] = (),
+    ) -> int:
+        body = json_dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in headers:
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+        return status
+
+    def _send_error_json(self, status: int, code: str, message: str) -> int:
+        return self._send_json(status, {"error": message, "code": code})
+
+    def _read_body(self) -> bytes:
+        length_header = self.headers.get("Content-Length")
+        try:
+            length = int(length_header or "0")
+        except ValueError:
+            self.close_connection = True
+            raise _ClientError(400, "bad-request", "malformed Content-Length")
+        if length < 0:
+            self.close_connection = True
+            raise _ClientError(400, "bad-request", "malformed Content-Length")
+        if length > self.gateway.max_body_bytes:
+            # The body stays unread, so the keep-alive stream is desynced;
+            # drop the connection after answering.
+            self.close_connection = True
+            raise _ClientError(
+                413,
+                "payload-too-large",
+                f"request body of {length} bytes exceeds the "
+                f"{self.gateway.max_body_bytes}-byte limit",
+            )
+        return self.rfile.read(length)
+
+    # ------------------------------------------------------------------
+    # GET endpoints (observability; never subject to backpressure)
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler naming)
+        started = time.perf_counter()
+        gateway = self.gateway
+        try:
+            if self.path == "/healthz":
+                status = self._send_json(200, gateway.health_payload())
+            elif self.path == "/graphs":
+                status = self._send_json(
+                    200, {"graphs": gateway.directory.names()}
+                )
+            elif self.path == "/stats":
+                status = self._send_json(200, gateway.directory.stats_payload())
+            else:
+                status = self._send_error_json(
+                    404, "not-found", f"no such endpoint: {self.path}"
+                )
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            return
+        except Exception as exc:  # pragma: no cover - defensive boundary
+            status = self._send_error_json(500, "internal", repr(exc))
+        self._access_log("GET", status, started)
+
+    # ------------------------------------------------------------------
+    # POST endpoints (query serving; bounded admission)
+    # ------------------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802 (stdlib handler naming)
+        started = time.perf_counter()
+        gateway = self.gateway
+        try:
+            name, verb = self._route_post()
+        except _ClientError as exc:
+            # The body was never read: the keep-alive stream is desynced,
+            # so answer and drop the connection.
+            self.close_connection = True
+            status = self._send_error_json(exc.status, exc.code, str(exc))
+            self._access_log("POST", status, started)
+            return
+        if not gateway.try_acquire():
+            gateway.count("rejections")
+            # Rejected before reading the body — same desync rule: the
+            # 429 answer rides out on a closing connection, which also
+            # stops a retrying client from hammering a warm socket.
+            self.close_connection = True
+            status = self._send_json(
+                429,
+                {
+                    "error": (
+                        f"gateway at capacity "
+                        f"({gateway.max_in_flight} in-flight requests)"
+                    ),
+                    "code": "overloaded",
+                    "max_in_flight": gateway.max_in_flight,
+                    "retry_after_seconds": gateway.retry_after_seconds,
+                },
+                headers=(("Retry-After", str(gateway.retry_after_seconds)),),
+            )
+            self._access_log("POST", status, started)
+            return
+        try:
+            gateway.count("requests")
+            status = self._serve_post(name, verb)
+        except _ClientError as exc:
+            status = self._send_error_json(exc.status, exc.code, str(exc))
+        except GraphNotFoundError as exc:
+            status = self._send_json(
+                404,
+                {"error": str(exc), "code": "graph-not-found",
+                 "graph": str(exc.name)},
+            )
+        except ProtocolError as exc:
+            status = self._send_error_json(400, "bad-request", str(exc))
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            status = 499  # client went away; nothing to send
+        except Exception as exc:  # pragma: no cover - defensive boundary
+            gateway.count("errors")
+            status = self._send_error_json(500, "internal", repr(exc))
+        finally:
+            gateway.release()
+        self._access_log("POST", status, started)
+
+    def _route_post(self) -> Tuple[str, str]:
+        parts = self.path.strip("/").split("/")
+        if len(parts) != 3 or parts[0] != "graphs":
+            raise _ClientError(404, "not-found", f"no such endpoint: {self.path}")
+        name, verb = parts[1], parts[2]
+        if verb not in _POST_VERBS:
+            raise _ClientError(
+                404,
+                "not-found",
+                f"unknown action {verb!r}; known: {list(_POST_VERBS)}",
+            )
+        return name, verb
+
+    def _serve_post(self, name: str, verb: str) -> int:
+        payload = json_loads(self._read_body())
+        if not isinstance(payload, dict):
+            raise _ClientError(400, "bad-request", "request body must be a JSON object")
+        if verb == "search":
+            return self._serve_search(name, payload)
+        if verb == "search_many":
+            return self._serve_search_many(name, payload)
+        return self._serve_explain(name, payload)
+
+    def _encode_response(self, response) -> Dict[str, object]:
+        """Encode an outgoing response; an un-encodable one is OUR fault.
+
+        The generic ``ProtocolError -> 400`` handler exists for malformed
+        *request* payloads; a search that succeeded but cannot be put on
+        the wire (e.g. a graph hosting non-scalar vertices) must answer
+        500, not blame the caller.
+        """
+        try:
+            return encode_response(response)
+        except ProtocolError as exc:
+            self.gateway.count("errors")
+            raise _ClientError(
+                500, "internal", f"response is not wire-encodable: {exc}"
+            )
+
+    def _serve_search(self, name: str, payload: Dict[str, object]) -> int:
+        query = decode_query(payload.get("query"))
+        config = decode_config(payload.get("config"))
+        use_cache = bool(payload.get("use_cache", True))
+        try:
+            response = self.gateway.directory.serve(
+                name, query, config=config, use_cache=use_cache
+            )
+        except (QueryError, VertexNotFoundError) as exc:
+            if not is_caller_error(query, exc):
+                raise  # an implementation bug is a 500, not a caller error
+            response = error_response_for(query, exc)
+        return self._send_json(
+            http_status_for_response(response.status, response.reason),
+            self._encode_response(response),
+        )
+
+    def _serve_search_many(self, name: str, payload: Dict[str, object]) -> int:
+        batch = decode_batch(payload)
+        # The call-level override rides separately from the batch's shared
+        # config ("config" inside the batch payload): in-process precedence
+        # is call > query > batch, and folding the call tier into the batch
+        # tier would let per-query configs beat it.
+        config = decode_config(payload.get("config_override"))
+        on_error = payload.get("on_error", "raise")
+        if on_error not in ("raise", "return"):
+            raise _ClientError(
+                400, "bad-request", f"unknown on_error policy {on_error!r}"
+            )
+        max_workers = payload.get("max_workers", 1)
+        if not isinstance(max_workers, int) or max_workers < 1:
+            raise _ClientError(400, "bad-request", "max_workers must be an int >= 1")
+        use_cache = bool(payload.get("use_cache", True))
+        try:
+            responses = self.gateway.directory.serve_many(
+                name,
+                batch,
+                config=config,
+                on_error=on_error,
+                max_workers=max_workers,
+                use_cache=use_cache,
+            )
+        except (QueryError, VertexNotFoundError) as exc:
+            # on_error="raise" semantics over the wire: the batch aborts
+            # with the caller error's own status (row-level failures only
+            # exist under on_error="return").
+            raise _ClientError(
+                http_status_for_response("error", reason_for_error(exc)),
+                "query-error",
+                str(exc),
+            )
+        return self._send_json(
+            200,
+            {
+                "count": len(responses),
+                "responses": [self._encode_response(r) for r in responses],
+            },
+        )
+
+    def _serve_explain(self, name: str, payload: Dict[str, object]) -> int:
+        query = decode_query(payload.get("query"))
+        config = decode_config(payload.get("config"))
+        engine = self.gateway.directory.get(name)
+        try:
+            report = engine.explain(query, config=config)
+        except (QueryError, VertexNotFoundError) as exc:
+            raise _ClientError(
+                http_status_for_response("error", reason_for_error(exc)),
+                "query-error",
+                str(exc),
+            )
+        return self._send_json(200, {"explain": jsonable(report)})
+
+
+class Gateway:
+    """A runnable HTTP gateway over one :class:`GraphDirectory`.
+
+    Parameters
+    ----------
+    directory:
+        The serving directory to expose.  The gateway adds no serving state
+        of its own beyond admission control — engines, caches and stats all
+        live in the directory.
+    host, port:
+        Bind address; ``port=0`` picks an ephemeral port (read it back from
+        :attr:`port` — the pattern tests, benchmarks and examples use).
+    max_in_flight:
+        Bounded admission: at most this many POST requests are served
+        concurrently; overflow is answered ``429`` + ``Retry-After``.
+    retry_after_seconds:
+        The hint sent with 429 responses.
+    max_body_bytes:
+        Request bodies above this size are refused with ``413``.
+
+    Use as a context manager (or call :meth:`start` / :meth:`stop`)::
+
+        with Gateway(directory, port=0) as gateway:
+            client = GatewayClient(gateway.url)
+            client.search("orkut", Query("lp-bcc", pair))
+    """
+
+    def __init__(
+        self,
+        directory,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_in_flight: int = DEFAULT_MAX_IN_FLIGHT,
+        retry_after_seconds: int = DEFAULT_RETRY_AFTER_SECONDS,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+    ) -> None:
+        if max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1")
+        if retry_after_seconds < 0:
+            raise ValueError("retry_after_seconds must be non-negative")
+        self.directory = directory
+        self.max_in_flight = max_in_flight
+        self.retry_after_seconds = retry_after_seconds
+        self.max_body_bytes = max_body_bytes
+        self._slots = threading.Semaphore(max_in_flight)
+        self._gauge_lock = threading.Lock()
+        self._in_flight = 0
+        self._counters: Dict[str, int] = {
+            "requests": 0,
+            "rejections": 0,
+            "errors": 0,
+        }
+        self._started_monotonic = time.monotonic()
+        self._httpd = _GatewayHTTPServer((host, port), _GatewayRequestHandler)
+        self._httpd.gateway = self
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # admission control
+    # ------------------------------------------------------------------
+    def try_acquire(self) -> bool:
+        """Claim an in-flight slot without blocking (False → answer 429)."""
+        if not self._slots.acquire(blocking=False):
+            return False
+        with self._gauge_lock:
+            self._in_flight += 1
+        return True
+
+    def release(self) -> None:
+        """Return an in-flight slot."""
+        with self._gauge_lock:
+            self._in_flight -= 1
+        self._slots.release()
+
+    def in_flight(self) -> int:
+        """The current in-flight POST gauge (for logs and tests)."""
+        with self._gauge_lock:
+            return self._in_flight
+
+    def count(self, name: str) -> None:
+        with self._gauge_lock:
+            self._counters[name] = self._counters.get(name, 0) + 1
+
+    def counters_snapshot(self) -> Dict[str, int]:
+        """Gateway-level counters: requests served, 429 rejections, errors."""
+        with self._gauge_lock:
+            return dict(self._counters)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (the real one, also when constructed with 0)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """The base URL clients talk to."""
+        return f"http://{self.host}:{self.port}"
+
+    def uptime_seconds(self) -> float:
+        return time.monotonic() - self._started_monotonic
+
+    def health_payload(self) -> Dict[str, object]:
+        """The ``/healthz`` body: liveness, uptime, versions, admission."""
+        counters = self.counters_snapshot()
+        return {
+            "status": "ok",
+            "uptime_seconds": self.uptime_seconds(),
+            "protocol_version": PROTOCOL_VERSION,
+            "stats_schema_version": STATS_SCHEMA_VERSION,
+            "served_graphs": len(self.directory),
+            "max_in_flight": self.max_in_flight,
+            "in_flight": self.in_flight(),
+            "requests": counters["requests"],
+            "rejections": counters["rejections"],
+        }
+
+    def start(self) -> "Gateway":
+        """Serve in a daemon thread; returns self so construction chains."""
+        if self._thread is not None:
+            raise RuntimeError("gateway already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name=f"repro-gateway:{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "Gateway":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Gateway(url={self.url!r}, graphs={self.directory.names()}, "
+            f"max_in_flight={self.max_in_flight})"
+        )

@@ -1,0 +1,285 @@
+"""A urllib-based Python client for the HTTP gateway.
+
+:class:`GatewayClient` mirrors the engine surface remote callers already
+know from :class:`repro.api.BCCEngine` — ``search`` / ``search_many`` /
+``explain`` / ``stats`` — over the wire codec in
+:mod:`repro.server.protocol`, so examples, the eval harness and the
+benchmarks can drive a gateway end-to-end with the same call shapes they
+use in-process.  Decoded ``search`` answers are real
+:class:`~repro.api.SearchResponse` objects: status/reason codes verbatim,
+member sets restored, ``math.inf`` query distances exact.
+
+Error surface:
+
+* per-query failures inside ``search_many(on_error="return")`` come back
+  as position-aligned ``status="error"`` rows, exactly as in-process;
+* a caller error on ``search``/``explain`` (or an aborted
+  ``on_error="raise"`` batch) raises :class:`repro.exceptions.QueryError`
+  with the server's message;
+* an unknown graph raises :class:`repro.exceptions.GraphNotFoundError`;
+* a 429 backpressure rejection raises :class:`GatewayOverloadedError`
+  carrying the server's ``Retry-After`` hint, so callers can implement
+  honest backoff;
+* transport failures (connection refused, timeouts, non-JSON bodies)
+  raise :class:`GatewayError`.
+"""
+
+from __future__ import annotations
+
+import http.client
+import socket
+import threading
+import urllib.parse
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.api.config import SearchConfig
+from repro.api.query import BatchQuery, Query, SearchResponse
+from repro.exceptions import GraphNotFoundError, QueryError, ReproError
+from repro.server.protocol import (
+    ProtocolError,
+    decode_response,
+    encode_batch,
+    encode_config,
+    encode_query,
+    json_dumps,
+    json_loads,
+)
+
+__all__ = ["GatewayClient", "GatewayError", "GatewayOverloadedError"]
+
+
+class GatewayError(ReproError):
+    """A transport- or server-level gateway failure (not a caller error)."""
+
+
+class GatewayOverloadedError(GatewayError):
+    """The gateway answered 429: too many in-flight requests.
+
+    ``retry_after_seconds`` carries the server's ``Retry-After`` hint.
+    """
+
+    def __init__(self, message: str, retry_after_seconds: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_seconds = retry_after_seconds
+
+
+class GatewayClient:
+    """Drive one gateway process through its HTTP surface.
+
+    Parameters
+    ----------
+    base_url:
+        The gateway's base URL (``Gateway.url``), e.g.
+        ``"http://127.0.0.1:8437"``.
+    timeout_seconds:
+        Per-request socket timeout; a hung server fails the call instead of
+        hanging the client forever.
+    """
+
+    def __init__(self, base_url: str, timeout_seconds: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_seconds = timeout_seconds
+        split = urllib.parse.urlsplit(self.base_url)
+        if split.scheme != "http" or not split.hostname:
+            raise ValueError(
+                f"expected an http://host:port base URL, got {base_url!r}"
+            )
+        self._host = split.hostname
+        self._port = split.port if split.port is not None else 80
+        # One persistent keep-alive connection per calling thread: the
+        # gateway speaks HTTP/1.1, so reusing the connection skips TCP
+        # setup + server accept per request — the dominant cost of
+        # fine-grained loopback serving (and what lets concurrent client
+        # threads actually overlap inside the server).
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            connection = http.client.HTTPConnection(
+                self._host, self._port, timeout=self.timeout_seconds
+            )
+            connection.connect()
+            # Request headers and body are separate writes; with Nagle on,
+            # the body write stalls on the headers' delayed ACK (~40ms per
+            # request on a keep-alive connection).
+            connection.sock.setsockopt(
+                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+            )
+            self._local.connection = connection
+        return connection
+
+    def _drop_connection(self) -> None:
+        connection = getattr(self._local, "connection", None)
+        if connection is not None:
+            connection.close()
+            self._local.connection = None
+
+    def close(self) -> None:
+        """Close this thread's persistent connection (safe to keep using
+        the client afterwards — the next call reconnects)."""
+        self._drop_connection()
+
+    def _exchange(
+        self, method: str, path: str, body: Optional[bytes]
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        connection = self._connection()
+        connection.request(
+            method,
+            path,
+            body=body,
+            headers={"Content-Type": "application/json; charset=utf-8"},
+        )
+        response = connection.getresponse()
+        payload = response.read()  # drain fully so keep-alive stays in sync
+        headers = {name: value for name, value in response.getheaders()}
+        if response.will_close:
+            self._drop_connection()
+        return response.status, headers, payload
+
+    def _request(
+        self, method: str, path: str, payload: Optional[object] = None
+    ) -> object:
+        body = json_dumps(payload).encode("utf-8") if payload is not None else None
+        try:
+            try:
+                status, headers, raw = self._exchange(method, path, body)
+            except (http.client.HTTPException, ConnectionError, BrokenPipeError):
+                # A stale keep-alive connection (server restarted, idle
+                # close): reconnect once, then report honestly.
+                self._drop_connection()
+                status, headers, raw = self._exchange(method, path, body)
+        except (http.client.HTTPException, OSError) as exc:
+            self._drop_connection()
+            raise GatewayError(
+                f"gateway unreachable at {self.base_url}: {exc!r}"
+            ) from exc
+        if status >= 400:
+            raise self._http_error(status, headers, raw)
+        return json_loads(raw)
+
+    def _http_error(
+        self, status: int, headers: Dict[str, str], raw: bytes
+    ) -> ReproError:
+        """Translate an HTTP error status into the library's exceptions."""
+        try:
+            body = json_loads(raw)
+        except ProtocolError:
+            body = None
+        if status == 429:
+            try:
+                seconds = float(headers.get("Retry-After", "1"))
+            except ValueError:
+                seconds = 1.0
+            return GatewayOverloadedError(
+                f"gateway overloaded (429), retry after {seconds:g}s",
+                retry_after_seconds=seconds,
+            )
+        if isinstance(body, dict):
+            message = str(body.get("error", f"HTTP {status}"))
+            code = body.get("code")
+            if code == "graph-not-found":
+                return GraphNotFoundError(body.get("graph", message))
+            # A 400/404 carrying an encoded error *row* (single-query
+            # search): surface the engine's own message as a QueryError,
+            # matching what BCCEngine.search would have raised.
+            if body.get("status") == "error":
+                return QueryError(str(body.get("error") or body.get("reason")))
+            if status in (400, 404):
+                return QueryError(message)
+            return GatewayError(f"gateway error {status}: {message}")
+        return GatewayError(f"gateway error {status}")
+
+    # ------------------------------------------------------------------
+    # observability endpoints
+    # ------------------------------------------------------------------
+    def healthz(self) -> Dict[str, object]:
+        """The gateway's liveness payload (uptime, versions, admission)."""
+        return self._request("GET", "/healthz")  # type: ignore[return-value]
+
+    def graphs(self) -> List[str]:
+        """Names currently served by the gateway's directory."""
+        payload = self._request("GET", "/graphs")
+        return list(payload["graphs"])  # type: ignore[index,call-overload]
+
+    def stats(self) -> Dict[str, object]:
+        """The whole-directory stats document (``GET /stats``)."""
+        return self._request("GET", "/stats")  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # serving surface (mirrors BCCEngine)
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        graph: str,
+        query: Query,
+        *,
+        config: Optional[SearchConfig] = None,
+        use_cache: bool = True,
+    ) -> SearchResponse:
+        """Serve one query remotely; raises for caller errors like
+        :meth:`BCCEngine.search` (a missing query vertex or malformed query
+        becomes :class:`QueryError`, an unknown graph
+        :class:`GraphNotFoundError`)."""
+        payload = self._request(
+            "POST",
+            f"/graphs/{graph}/search",
+            {
+                "query": encode_query(query),
+                "config": encode_config(config),
+                "use_cache": use_cache,
+            },
+        )
+        return decode_response(payload)
+
+    def search_many(
+        self,
+        graph: str,
+        queries: Union[BatchQuery, Iterable[Query]],
+        *,
+        config: Optional[SearchConfig] = None,
+        on_error: str = "raise",
+        max_workers: int = 1,
+        use_cache: bool = True,
+    ) -> List[SearchResponse]:
+        """Serve a batch remotely with ``search_many``'s exact semantics:
+        position-aligned responses, per-query error rows under
+        ``on_error="return"``, an aborting :class:`QueryError` under
+        ``"raise"``, and the in-process config precedence (the ``config``
+        argument of this call beats per-query configs, which beat the
+        batch's shared config — it rides the wire as its own field so the
+        server can keep the tiers distinct)."""
+        body = encode_batch(queries)
+        body.update(
+            {
+                "config_override": encode_config(config),
+                "on_error": on_error,
+                "max_workers": max_workers,
+                "use_cache": use_cache,
+            }
+        )
+        payload = self._request("POST", f"/graphs/{graph}/search_many", body)
+        if not isinstance(payload, dict) or "responses" not in payload:
+            raise GatewayError("malformed search_many envelope from gateway")
+        return [decode_response(row) for row in payload["responses"]]
+
+    def explain(
+        self,
+        graph: str,
+        query: Query,
+        *,
+        config: Optional[SearchConfig] = None,
+    ) -> Dict[str, object]:
+        """The engine's dispatch report for ``query`` (never runs a search)."""
+        payload = self._request(
+            "POST",
+            f"/graphs/{graph}/explain",
+            {"query": encode_query(query), "config": encode_config(config)},
+        )
+        return payload["explain"]  # type: ignore[index,call-overload]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GatewayClient(base_url={self.base_url!r})"

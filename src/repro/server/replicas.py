@@ -1,0 +1,334 @@
+"""Replica sets: one hot graph served by N engines behind one front.
+
+The sharded engine scales a graph *across* components; a single hot
+component still funnels every query through one engine's locks and one
+result cache.  :class:`ReplicaSet` is the horizontal answer the ROADMAP's
+replica follow-up asks for: N independently prepared engines over the same
+graph behind one ``ServingEngine``-shaped front (``search`` /
+``search_many`` / ``explain`` / ``counters_snapshot`` / ``stats``), with
+
+* **least-loaded routing** — each query goes to the replica with the
+  fewest in-flight queries (ties break to the lowest replica id, so
+  single-threaded traffic is deterministic and a warmed replica stays
+  warm);
+* **merged stats** — per-replica latency histograms are merged bucket-wise
+  via :meth:`repro.serving.stats.LatencyHistogram.merge` and engine
+  counters are summed, so the stats endpoint shows the set as one engine
+  *plus* a per-replica breakdown (routed counts, in-flight gauge);
+* **shared substrate, private state** — replicas share the underlying
+  ``LabeledGraph`` (whose version-cached CSR freeze is paid once for the
+  whole set) but each owns its result cache, label groups, BCindex and
+  locks, so concurrent serving threads stop contending on one engine's
+  cache lock.
+
+``GraphDirectory.add(name, graph, replicas=N)`` registers a replica set
+exactly like any other engine, so a hot graph scales horizontally without
+the client noticing.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.api.config import SearchConfig
+from repro.api.engine import (
+    DEFAULT_RESULT_CACHE_SIZE,
+    BCCEngine,
+    serve_batch,
+)
+from repro.api.query import BatchQuery, Query, SearchResponse
+from repro.eval.instrumentation import SearchInstrumentation
+from repro.graph.labeled_graph import LabeledGraph
+from repro.serving.sharded import ShardedBCCEngine
+from repro.serving.stats import (
+    LatencyHistogram,
+    ServingStats,
+    aggregate_counters,
+    engine_payload,
+)
+
+
+class ReplicaSet:
+    """N prepared engines serving one graph with least-loaded routing.
+
+    Parameters
+    ----------
+    graph:
+        The graph to serve, or any object exposing it as ``.graph`` — same
+        contract as :class:`BCCEngine`.
+    config:
+        Base :class:`SearchConfig` handed to every replica.
+    replicas:
+        Number of engines in the set (>= 1).
+    sharded:
+        Build each replica as a :class:`ShardedBCCEngine` instead of a
+        monolithic :class:`BCCEngine` — replication and sharding compose
+        (N replicas, each component-sharded).
+    result_cache_size, result_cache_policy:
+        Forwarded to every replica's result cache; each replica owns its
+        own cache (a policy object is shared — policies are stateless or
+        internally locked).
+
+    The set itself adds no new thread-safety requirements: routing state is
+    a small in-flight table under one lock, and everything else is the
+    replicas' own (already thread-safe) machinery.
+    """
+
+    def __init__(
+        self,
+        graph: Union[LabeledGraph, object],
+        config: Optional[SearchConfig] = None,
+        replicas: int = 2,
+        sharded: bool = False,
+        result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE,
+        result_cache_policy: Optional[object] = None,
+    ) -> None:
+        if replicas < 1:
+            raise ValueError("a replica set needs at least one replica")
+        if not isinstance(graph, LabeledGraph):
+            graph = getattr(graph, "graph", graph)
+        if not isinstance(graph, LabeledGraph):
+            raise TypeError(f"expected a LabeledGraph or bundle, got {type(graph)!r}")
+        self.graph: LabeledGraph = graph
+        self.config: SearchConfig = config if config is not None else SearchConfig()
+        engine_type = ShardedBCCEngine if sharded else BCCEngine
+        self._engines: List[Union[BCCEngine, ShardedBCCEngine]] = [
+            engine_type(
+                graph,
+                self.config,
+                result_cache_size=result_cache_size,
+                result_cache_policy=result_cache_policy,
+            )
+            for _ in range(replicas)
+        ]
+        self._sharded = sharded
+        self._route_lock = threading.Lock()
+        self._in_flight: List[int] = [0] * replicas
+        self._routed: List[int] = [0] * replicas
+        self._searches = 0
+        self._latency: List[LatencyHistogram] = [
+            LatencyHistogram() for _ in range(replicas)
+        ]
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def replica_count(self) -> int:
+        """Number of engines in the set."""
+        return len(self._engines)
+
+    def replica_engine(self, replica_id: int) -> Union[BCCEngine, ShardedBCCEngine]:
+        """The engine behind ``replica_id`` (for tests and introspection)."""
+        return self._engines[replica_id]
+
+    def in_flight(self) -> List[int]:
+        """A snapshot of the per-replica in-flight gauge."""
+        with self._route_lock:
+            return list(self._in_flight)
+
+    def _acquire(self) -> int:
+        """Claim the least-loaded replica (lowest id wins ties).
+
+        ``routed`` counts every claim (it measures routing balance, so
+        attempts belong in it); the set-level ``searches`` counter is
+        bumped only once the engine actually serves the query, matching
+        :class:`BCCEngine`'s "malformed queries are not served searches"
+        semantics — so set-level and summed per-replica counters always
+        reconcile.
+        """
+        with self._route_lock:
+            replica_id = min(
+                range(len(self._engines)), key=lambda i: (self._in_flight[i], i)
+            )
+            self._in_flight[replica_id] += 1
+            self._routed[replica_id] += 1
+            return replica_id
+
+    def _release(self, replica_id: int) -> None:
+        with self._route_lock:
+            self._in_flight[replica_id] -= 1
+
+    # ------------------------------------------------------------------
+    # serving (ServingEngine surface)
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        query: Query,
+        *,
+        config: Optional[SearchConfig] = None,
+        instrumentation: Optional[SearchInstrumentation] = None,
+        use_cache: bool = True,
+    ) -> SearchResponse:
+        """Serve one query from the least-loaded replica.
+
+        Same surface and semantics as :meth:`BCCEngine.search` — replicas
+        serve the same graph, so *which* replica answers never changes the
+        answer (asserted by the replica parity tests); it only changes
+        which cache warms and which locks contend.
+        """
+        replica_id = self._acquire()
+        start = time.perf_counter()
+        try:
+            response = self._engines[replica_id].search(
+                query,
+                config=config,
+                instrumentation=instrumentation,
+                use_cache=use_cache,
+            )
+        finally:
+            self._release(replica_id)
+        # Served queries only: a malformed query raised above and is
+        # neither a search nor a latency observation (same rule as the
+        # monolithic and sharded engines).
+        self._latency[replica_id].observe(time.perf_counter() - start)
+        with self._route_lock:
+            self._searches += 1
+        return response
+
+    def search_many(
+        self,
+        queries: Union[BatchQuery, Iterable[Query]],
+        *,
+        config: Optional[SearchConfig] = None,
+        instrumentation: Optional[SearchInstrumentation] = None,
+        on_error: str = "raise",
+        max_workers: int = 1,
+        use_cache: bool = True,
+    ) -> List[SearchResponse]:
+        """Serve a batch, routing every member query independently.
+
+        One shared batch implementation with the monolithic and sharded
+        engines (position alignment, ``on_error``, ``max_workers``,
+        ``use_cache``); with ``max_workers > 1`` the in-flight gauge is what
+        actually spreads a concurrent batch across replicas.
+        """
+        return serve_batch(
+            self,
+            queries,
+            config=config,
+            instrumentation=instrumentation,
+            on_error=on_error,
+            max_workers=max_workers,
+            use_cache=use_cache,
+        )
+
+    def explain(
+        self, query: Query, *, config: Optional[SearchConfig] = None
+    ) -> Dict[str, object]:
+        """Routing info plus the target replica's own engine-level explain.
+
+        Explain routes like a search would (least-loaded at this instant)
+        but does not hold the slot — it never runs the query.
+        """
+        with self._route_lock:
+            replica_id = min(
+                range(len(self._engines)), key=lambda i: (self._in_flight[i], i)
+            )
+            in_flight = list(self._in_flight)
+        return {
+            "replicas": len(self._engines),
+            "replica": replica_id,
+            "in_flight": in_flight,
+            "engine": self._engines[replica_id].explain(query, config=config),
+        }
+
+    # ------------------------------------------------------------------
+    # stats
+    # ------------------------------------------------------------------
+    def counters_snapshot(self) -> Dict[str, int]:
+        """Set-level counters: summed engine counters + routing totals.
+
+        The set's own count of served queries wins the ``"searches"`` slot:
+        each query ran on exactly one replica, so the sum would normally
+        agree, but the set-level number is taken at the set's own edge and
+        stays correct even for engines that count router-level
+        short-circuits of their own (sharded replicas).
+        """
+        counters = aggregate_counters(
+            [engine.counters_snapshot() for engine in self._engines]
+        )
+        with self._route_lock:
+            counters["searches"] = self._searches
+            counters["replicas"] = len(self._engines)
+        return counters
+
+    def merged_latency(self) -> LatencyHistogram:
+        """All per-replica histograms merged into one (shared bounds)."""
+        merged = LatencyHistogram(self._latency[0].bounds)
+        for histogram in self._latency:
+            merged.merge(histogram)
+        return merged
+
+    def stats(self, name: str = "replica-set") -> ServingStats:
+        """The stats-endpoint snapshot: merged totals + per-replica blocks.
+
+        ``latency`` is the bucket-wise merge of every replica's histogram;
+        ``replicas`` carries one block per replica with its routed count,
+        current in-flight gauge and engine counters, so an operator can see
+        both the set as one engine and whether routing is balanced.
+        """
+        with self._route_lock:
+            routed = list(self._routed)
+            in_flight = list(self._in_flight)
+        blocks: List[Dict[str, object]] = []
+        cache_hits = 0
+        cache_misses = 0
+        cache_entries = 0
+        for replica_id, engine in enumerate(self._engines):
+            if isinstance(engine, BCCEngine):
+                payload = engine_payload(engine)
+                cache_info = payload["cache"]
+                block: Dict[str, object] = {
+                    "replica": replica_id,
+                    "routed": routed[replica_id],
+                    "in_flight": in_flight[replica_id],
+                    "prepared": payload["prepared"],
+                    "index_built": payload["index_built"],
+                    "counters": payload["counters"],
+                    "cache": cache_info,
+                }
+                cache_hits += int(cache_info.get("hits", 0))
+                cache_misses += int(cache_info.get("misses", 0))
+                cache_entries += int(cache_info.get("entries", 0))
+            else:  # sharded replica: reuse its own aggregated snapshot
+                shard_stats = engine.stats(name=f"{name}/replica{replica_id}")
+                block = {
+                    "replica": replica_id,
+                    "routed": routed[replica_id],
+                    "in_flight": in_flight[replica_id],
+                    "shards": len(shard_stats.shards),
+                    "counters": dict(shard_stats.counters),
+                    "cache": dict(shard_stats.cache),
+                }
+                cache_hits += int(shard_stats.cache.get("hits", 0))
+                cache_misses += int(shard_stats.cache.get("misses", 0))
+                cache_entries += int(shard_stats.cache.get("entries", 0))
+            blocks.append(block)
+        lookups = cache_hits + cache_misses
+        return ServingStats(
+            name=name,
+            kind="replicated",
+            graph={
+                "vertices": self.graph.num_vertices(),
+                "edges": self.graph.num_edges(),
+                "version": self.graph.version(),
+            },
+            counters=self.counters_snapshot(),
+            cache={
+                "hits": cache_hits,
+                "misses": cache_misses,
+                "entries": cache_entries,
+                "hit_rate": (cache_hits / lookups) if lookups else None,
+            },
+            latency=self.merged_latency().snapshot(),
+            replicas=tuple(blocks),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ReplicaSet(|V|={self.graph.num_vertices()}, "
+            f"replicas={len(self._engines)}, "
+            f"sharded={self._sharded}, searches={self._searches})"
+        )

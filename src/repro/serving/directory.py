@@ -29,9 +29,16 @@ from repro.datasets.registry import load_dataset
 from repro.exceptions import GraphNotFoundError
 from repro.graph.labeled_graph import LabeledGraph
 from repro.serving.sharded import ShardedBCCEngine
-from repro.serving.stats import LatencyHistogram, ServingStats
+from repro.serving.stats import (
+    STATS_SCHEMA_VERSION,
+    LatencyHistogram,
+    ServingStats,
+)
 
-ServingEngine = Union[BCCEngine, ShardedBCCEngine]
+#: Anything the directory can host: a monolithic engine, a sharded engine,
+#: or a replica set (``repro.server.replicas.ReplicaSet`` — imported lazily
+#: to keep ``repro.serving`` importable without the server package).
+ServingEngine = Union[BCCEngine, ShardedBCCEngine, object]
 
 
 class GraphDirectory:
@@ -66,6 +73,7 @@ class GraphDirectory:
         self._lock = threading.Lock()
         self._engines: Dict[str, ServingEngine] = {}
         self._latency: Dict[str, LatencyHistogram] = {}
+        self._started_monotonic = time.monotonic()
 
     # ------------------------------------------------------------------
     # hosting
@@ -76,6 +84,7 @@ class GraphDirectory:
         graph: Union[LabeledGraph, object],
         *,
         sharded: Optional[bool] = None,
+        replicas: int = 1,
         config: Optional[SearchConfig] = None,
         result_cache_size: Optional[int] = None,
         result_cache_policy: Optional[object] = None,
@@ -85,9 +94,16 @@ class GraphDirectory:
         Re-adding an existing name replaces its engine — the directory is
         the single owner of the name, so a live process can swap a graph
         for a rebuilt one atomically.
+
+        ``replicas > 1`` hosts the graph as a
+        :class:`repro.server.replicas.ReplicaSet` — N engines (sharded or
+        monolithic per the ``sharded`` flag) behind least-loaded routing —
+        so one hot graph scales horizontally without the caller noticing.
         """
         if not name or not isinstance(name, str):
             raise ValueError("a served graph needs a non-empty string name")
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
         use_sharded = self._sharded_default if sharded is None else sharded
         engine_config = config if config is not None else self._config
         cache_size = (
@@ -101,7 +117,20 @@ class GraphDirectory:
             else result_cache_policy
         )
         engine: ServingEngine
-        if use_sharded:
+        if replicas > 1:
+            # Imported lazily: repro.server builds on repro.serving, so a
+            # module-level import here would be circular.
+            from repro.server.replicas import ReplicaSet
+
+            engine = ReplicaSet(
+                graph,
+                engine_config,
+                replicas=replicas,
+                sharded=use_sharded,
+                result_cache_size=cache_size,
+                result_cache_policy=cache_policy,
+            )
+        elif use_sharded:
             engine = ShardedBCCEngine(
                 graph,
                 engine_config,
@@ -127,6 +156,7 @@ class GraphDirectory:
         name: Optional[str] = None,
         seed: int = 0,
         sharded: Optional[bool] = None,
+        replicas: int = 1,
         config: Optional[SearchConfig] = None,
         **kwargs: object,
     ) -> ServingEngine:
@@ -142,6 +172,7 @@ class GraphDirectory:
             name if name is not None else dataset,
             bundle,
             sharded=sharded,
+            replicas=replicas,
             config=config,
         )
 
@@ -226,18 +257,33 @@ class GraphDirectory:
             histograms = dict(self._latency)
         snapshots: Dict[str, ServingStats] = {}
         for name, engine in engines.items():
-            if isinstance(engine, ShardedBCCEngine):
-                snapshot = engine.stats(name=name)
-            else:
+            if isinstance(engine, BCCEngine):
                 snapshot = ServingStats.from_engine(
                     engine, name=name, latency=histograms.get(name)
                 )
+            else:
+                # Sharded engines and replica sets build their own
+                # aggregated snapshot (per-shard / per-replica blocks).
+                snapshot = engine.stats(name=name)
             snapshots[name] = snapshot
         return snapshots
 
+    def uptime_seconds(self) -> float:
+        """Seconds since this directory was constructed."""
+        return time.monotonic() - self._started_monotonic
+
     def stats_payload(self) -> Dict[str, object]:
-        """The whole directory as one JSON-serializable stats document."""
+        """The whole directory as one JSON-serializable stats document.
+
+        Self-describing: ``schema_version`` stamps the payload layout
+        (:data:`repro.serving.stats.STATS_SCHEMA_VERSION`) and
+        ``uptime_seconds`` dates the process, so a scraper can tell a
+        restarted server from a quiet one.  The full field-by-field schema
+        is documented in the README's "Stats payload schema" section.
+        """
         return {
+            "schema_version": STATS_SCHEMA_VERSION,
+            "uptime_seconds": self.uptime_seconds(),
             "graphs": {
                 name: snapshot.to_dict()
                 for name, snapshot in self.stats().items()

@@ -23,6 +23,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.api.engine import ENGINE_COUNTER_NAMES, BCCEngine
 
+#: Version stamp of the stats-endpoint payload schema
+#: (``GraphDirectory.stats_payload`` / ``GET /stats``).  Bump when a field
+#: is renamed or removed; adding fields is backward compatible.
+STATS_SCHEMA_VERSION = 1
+
 #: Half-decade log-scaled bucket upper bounds (seconds): 100µs .. 10s, plus
 #: an implicit overflow bucket.  Community searches on the evaluation
 #: networks span exactly this range — cache hits land in the first buckets,
@@ -61,6 +66,11 @@ class LatencyHistogram:
         self._max = 0.0
         self._lock = threading.Lock()
 
+    @property
+    def bounds(self) -> Tuple[float, ...]:
+        """The (sorted, immutable) bucket upper bounds."""
+        return self._bounds
+
     def observe(self, seconds: float) -> None:
         """Record one request latency."""
         if seconds < 0:
@@ -72,6 +82,39 @@ class LatencyHistogram:
             self._sum += seconds
             if seconds > self._max:
                 self._max = seconds
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Accumulate ``other``'s observations into this histogram.
+
+        Bucket counts, totals and maxima are summed/maxed, so N per-replica
+        histograms merge into one set-level histogram without losing bucket
+        resolution.  Both histograms must share the same bounds — merging
+        across different bucket layouts would silently misfile counts, so it
+        raises ``ValueError`` instead.  Returns ``self`` so merges chain.
+        """
+        if not isinstance(other, LatencyHistogram):
+            raise TypeError(f"cannot merge {type(other)!r} into a histogram")
+        if other._bounds != self._bounds:
+            raise ValueError(
+                f"cannot merge histograms with different bounds: "
+                f"{self._bounds} != {other._bounds}"
+            )
+        # Snapshot the source under its own lock first; lock order is
+        # other -> self, and merge targets are private per-merge objects,
+        # so no concurrent opposite-order merge can deadlock.
+        with other._lock:
+            counts = list(other._counts)
+            count = other._count
+            total = other._sum
+            observed_max = other._max
+        with self._lock:
+            for index, value in enumerate(counts):
+                self._counts[index] += value
+            self._count += count
+            self._sum += total
+            if observed_max > self._max:
+                self._max = observed_max
+        return self
 
     def _quantile_upper_bound(self, counts: List[int], rank: float) -> float:
         """Upper bound of the bucket holding the ``rank``-quantile sample."""
@@ -147,16 +190,21 @@ class ServingStats:
     ``partitions``, ...).  ``shards`` carries one block per shard —
     including never-built shards, whose counters are explicitly all-zero:
     that is the laziness proof a test or an operator reads off the
-    endpoint.
+    endpoint.  A replicated engine (:class:`repro.server.ReplicaSet`)
+    reports ``kind="replicated"`` with one ``replicas`` block per replica
+    (routed counts, in-flight gauge, per-replica engine counters) and a
+    latency histogram merged across replicas via
+    :meth:`LatencyHistogram.merge`.
     """
 
     name: str
-    kind: str  # "sharded" | "monolithic"
+    kind: str  # "sharded" | "monolithic" | "replicated"
     graph: Dict[str, int]
     counters: Dict[str, int]
     cache: Dict[str, object]
     latency: Dict[str, object]
     shards: Tuple[Dict[str, object], ...] = ()
+    replicas: Tuple[Dict[str, object], ...] = ()
 
     @classmethod
     def from_engine(
@@ -207,6 +255,8 @@ class ServingStats:
         }
         if self.kind == "sharded":
             payload["shards"] = [dict(block) for block in self.shards]
+        if self.kind == "replicated":
+            payload["replicas"] = [dict(block) for block in self.replicas]
         return payload
 
     def to_json(self, indent: Optional[int] = None) -> str:

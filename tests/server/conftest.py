@@ -1,0 +1,36 @@
+"""Shared fixtures for the HTTP gateway tests.
+
+Each gateway fixture binds an ephemeral port (``port=0``), serves from a
+daemon thread and is torn down after the test, so the suite never collides
+with itself (or anything else) on a fixed port.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import SearchConfig
+from repro.graph.generators import paper_example_graph
+from repro.server import Gateway, GatewayClient
+from repro.serving import GraphDirectory
+
+
+@pytest.fixture
+def paper_directory() -> GraphDirectory:
+    """A directory serving the Figure 1 graph monolithically as "paper"."""
+    directory = GraphDirectory(sharded=False)
+    directory.add("paper", paper_example_graph(), config=SearchConfig(k1=4, k2=3))
+    return directory
+
+
+@pytest.fixture
+def gateway(paper_directory: GraphDirectory):
+    """A running gateway over ``paper_directory`` on an ephemeral port."""
+    with Gateway(paper_directory, port=0, max_in_flight=8) as server:
+        yield server
+
+
+@pytest.fixture
+def client(gateway: Gateway) -> GatewayClient:
+    """A client bound to the running gateway (short timeout: hangs fail fast)."""
+    return GatewayClient(gateway.url, timeout_seconds=10.0)

@@ -1,0 +1,44 @@
+"""Graph builders shared by the gateway test modules.
+
+Lives in its own uniquely named module (not ``conftest``) because test
+modules import it directly — ``import conftest`` would be ambiguous across
+the suite's multiple conftest files on ``sys.path``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.graph.generators import random_labeled_graph
+from repro.graph.labeled_graph import LabeledGraph
+
+
+def dense_two_label_component(prefix: str, seed: int) -> LabeledGraph:
+    """A connected 2-label component dense enough for BCC answers."""
+    rng = random.Random(seed)
+    graph = random_labeled_graph(
+        rng.randint(10, 16),
+        0.35 + rng.random() * 0.25,
+        ["A", "B"],
+        seed=rng.randint(0, 10_000),
+    )
+    renamed = LabeledGraph()
+    for vertex in graph.vertices():
+        renamed.add_vertex(f"{prefix}:{vertex}", label=graph.label(vertex))
+    for u, v in graph.edges():
+        renamed.add_edge(f"{prefix}:{u}", f"{prefix}:{v}")
+    return renamed
+
+
+def multi_component_graph(
+    seed: int, components: int = 3
+) -> Tuple[LabeledGraph, List[List[str]]]:
+    """A multi-component labeled graph plus per-component vertex lists."""
+    composed = LabeledGraph()
+    per_component: List[List[str]] = []
+    for index in range(components):
+        part = dense_two_label_component(f"c{index}", seed * 101 + index)
+        composed.merge(part)
+        per_component.append(sorted(part.vertices()))
+    return composed, per_component

@@ -127,3 +127,20 @@ class TestStats:
         assert document["served_graphs"] == 2
         assert set(document["graphs"]) == {"sharded-graph", "mono-graph"}
         assert document["graphs"]["sharded-graph"]["counters"]["searches"] == 1
+
+    def test_stats_payload_is_self_describing(self, paper_graph):
+        import time
+
+        from repro.serving.stats import STATS_SCHEMA_VERSION
+
+        directory = GraphDirectory()
+        directory.add("paper", paper_graph)
+        first = directory.stats_payload()
+        assert first["schema_version"] == STATS_SCHEMA_VERSION
+        assert first["uptime_seconds"] >= 0.0
+        time.sleep(0.01)
+        second = directory.stats_payload()
+        # Uptime dates the *process*: it advances between scrapes, so a
+        # scraper can tell a restarted server from a quiet one.
+        assert second["uptime_seconds"] > first["uptime_seconds"]
+        assert directory.uptime_seconds() >= second["uptime_seconds"]
