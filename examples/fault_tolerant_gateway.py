@@ -1,0 +1,176 @@
+#!/usr/bin/env python
+"""Fault-tolerant serving: injection → ejection → degraded mode → recovery.
+
+A guided tour of the resilience layer, all on one loopback gateway:
+
+1. hosts a Baidu-like graph as a 3-engine :class:`repro.server.ReplicaSet`
+   with a seeded :class:`repro.server.FaultPlan` that makes replica 0 fail
+   its next dispatches — deterministic chaos, no monkeypatching;
+2. drives queries through :class:`repro.server.GatewayClient` and watches
+   **failover** hide every injected fault (answers keep parity with the
+   fault-free ones), the failing replica **ejected** from routing by its
+   circuit breaker, and ``/healthz`` flip to ``degraded``;
+3. kills the remaining replicas too and shows **degraded mode**: a warm
+   query replays its last good answer marked ``degraded: true``, a cold
+   query answers ``503 Service Unavailable`` + ``Retry-After`` — never a
+   hang;
+4. shows a **deadline**: a query whose plan stalls 30 s comes back as a
+   ``504``/``deadline-exceeded`` within its 300 ms budget;
+5. reads per-replica health (state, failures, ejections, latency EWMA) off
+   ``/stats``.
+
+Run with:  python examples/fault_tolerant_gateway.py
+"""
+
+from __future__ import annotations
+
+from repro import GraphDirectory, Query, SearchConfig
+from repro.datasets import generate_baidu_network
+from repro.exceptions import DeadlineExceededError
+from repro.server import (
+    FaultPlan,
+    FaultRule,
+    Gateway,
+    GatewayClient,
+    GatewayError,
+    GatewayUnavailableError,
+    HealthPolicy,
+    RetryPolicy,
+)
+
+REPLICAS = 3
+
+
+def main() -> None:
+    bundle = generate_baidu_network("tiny", seed=7)
+    query = Query("lp-bcc", bundle.default_query())
+    config = SearchConfig(b=1, max_iterations=100)
+
+    # ------------------------------------------------------------------
+    # 1. One failing replica: failover absorbs it, the breaker ejects it.
+    # ------------------------------------------------------------------
+    plan = FaultPlan(
+        [
+            # Replica 0 fails its next 3 dispatches (exactly the breaker's
+            # failure threshold), then would recover if probed.
+            FaultRule("replica.search", where={"replica": 0}, count=3),
+            # Stall rule for part 4: this one query hangs 30s wherever it
+            # runs — only a deadline can bound it.
+            FaultRule(
+                "replica.search",
+                kind="stall",
+                where={"vertices": ("stall", "stall2")},
+                delay_seconds=30.0,
+            ),
+        ]
+    )
+    directory = GraphDirectory(sharded=False)
+    directory.add(
+        "baidu",
+        bundle,
+        config=config,
+        replicas=REPLICAS,
+        health_policy=HealthPolicy(failure_threshold=3, ejection_seconds=3600.0),
+        fault_plan=plan,
+    )
+
+    replica_set = directory.get("baidu")
+    with Gateway(directory, port=0, retry_after_seconds=5) as gateway:
+        client = GatewayClient(
+            gateway.url,
+            timeout_seconds=30.0,
+            retry_policy=RetryPolicy(max_attempts=3),
+        )
+        print(f"gateway up at {gateway.url}, serving 'baidu' "
+              f"with {REPLICAS} replicas; replica 0 scheduled to fail")
+
+        reference = client.search("baidu", query)
+        print(f"\n[1] first query: status={reference.status}, "
+              f"|community|={len(reference.vertices)} — replica 0 faulted "
+              f"once, failover already hid it")
+        for round_ in range(1, 4):
+            response = client.search("baidu", query, use_cache=False)
+            assert response.vertices == reference.vertices
+            print(f"    round {round_}: exact parity "
+                  f"({plan.injected()} faults injected so far, "
+                  f"replica 0 now '{replica_set.replica_health(0).state()}')")
+
+        health = client.healthz()
+        print(f"\n[2] /healthz after the failure storm: "
+              f"status={health['status']}, "
+              f"baidu={health['graphs']['baidu']['state']} "
+              f"({health['graphs']['baidu']['available']}/{REPLICAS} available)")
+
+        # ------------------------------------------------------------------
+        # 3. Kill the rest: degraded replay for warm queries, 503 for cold.
+        # ------------------------------------------------------------------
+        for replica_id in range(1, REPLICAS):
+            breaker = replica_set.replica_health(replica_id)
+            for _ in range(3):
+                breaker.record_failure()
+        print(f"\n[3] all replicas now ejected "
+              f"(set state: {replica_set.health_summary()['state']})")
+
+        stale = client.search("baidu", query)
+        print(f"    warm query: served from the last-good cache, "
+              f"degraded={stale.degraded}, answer unchanged "
+              f"({stale.vertices == reference.vertices})")
+
+        cold = Query("lp-bcc", (query.vertices[1], query.vertices[0]))
+        try:
+            client_no_retry = GatewayClient(gateway.url, timeout_seconds=30.0)
+            client_no_retry.search("baidu", cold, use_cache=False)
+        except GatewayUnavailableError as refusal:
+            print(f"    cold query: 503 unavailable, "
+                  f"retry after {refusal.retry_after_seconds:g}s — no hang")
+
+        # Re-admit everything for part 4 (operators would wait the window;
+        # we close the breakers directly to keep the tour moving).
+        for replica_id in range(REPLICAS):
+            breaker = replica_set.replica_health(replica_id)
+            breaker._ejected_until = 0.0  # demo shortcut: reopen instantly
+            if breaker.try_admit():
+                breaker.record_success(0.001)
+
+        # ------------------------------------------------------------------
+        # 4. Deadlines: a stalled query answers 504 inside its budget.
+        # ------------------------------------------------------------------
+        try:
+            client_no_retry.search(
+                "baidu",
+                Query("lp-bcc", ("stall", "stall2")),
+                config=SearchConfig(
+                    b=1, max_iterations=100, deadline_ms=300.0
+                ),
+            )
+        except DeadlineExceededError as exc:
+            print(f"\n[4] stalled query (30s injected stall) gave up on time: "
+                  f"504 deadline-exceeded ({exc})")
+        except GatewayError as exc:  # pragma: no cover - vertex missing
+            print(f"\n[4] stalled query refused: {exc}")
+
+        # ------------------------------------------------------------------
+        # 5. Per-replica health off /stats.
+        # ------------------------------------------------------------------
+        stats = client.stats()
+        print("\n[5] per-replica health (GET /stats):")
+        for block in stats["graphs"]["baidu"]["replicas"]:
+            health_block = block["health"]
+            ewma = health_block["latency_ewma_seconds"]
+            print(f"    replica {block['replica']}: "
+                  f"state={health_block['state']} "
+                  f"failures={health_block['failures']} "
+                  f"ejections={health_block['ejections']} "
+                  f"readmissions={health_block['readmissions']} "
+                  f"ewma={'%.1fms' % (ewma * 1000) if ewma else 'n/a'}")
+        counters = stats["graphs"]["baidu"]["counters"]
+        print(f"    set: searches={counters['searches']} "
+              f"failovers={counters['failovers']} "
+              f"ejections={counters['ejections']}")
+
+    print("\ndone: faults injected, failover hid them, breakers ejected and "
+          "re-admitted, degraded mode answered, deadlines held.")
+
+
+if __name__ == "__main__":
+    main()

@@ -67,6 +67,15 @@ class SearchConfig:
         Optional per-query ``k_i`` tuple for the multi-labeled mBCC search.
     size_budget, shrink_rounds:
         Expansion / shrinking budgets of the PSA baseline.
+    deadline_ms:
+        Optional serving deadline (wall-clock milliseconds).  Enforced at
+        the serving seams that can abandon a stalled call — each
+        ``search_many`` row and each HTTP gateway request — not inside the
+        kernels themselves; an expired deadline becomes a position-aligned
+        ``status="error"`` row with reason ``deadline-exceeded`` (HTTP 504
+        through the gateway).  It never changes *what* a query answers,
+        only how long a caller will wait, so it is excluded from result
+        cache keys.
     """
 
     k1: Optional[int] = None
@@ -83,6 +92,7 @@ class SearchConfig:
     core_parameters: Optional[Tuple[int, ...]] = None
     size_budget: int = DEFAULT_SIZE_BUDGET
     shrink_rounds: int = DEFAULT_SHRINK_ROUNDS
+    deadline_ms: Optional[float] = None
 
     def __post_init__(self) -> None:
         for name in ("k1", "k2", "k"):
@@ -106,6 +116,8 @@ class SearchConfig:
             raise QueryError("size_budget must be non-negative")
         if self.shrink_rounds < 0:
             raise QueryError("shrink_rounds must be non-negative")
+        if self.deadline_ms is not None and not self.deadline_ms > 0:
+            raise QueryError("deadline_ms must be positive or None")
         if self.core_parameters is not None:
             object.__setattr__(self, "core_parameters", tuple(self.core_parameters))
             if any(value < 0 for value in self.core_parameters):
@@ -122,10 +134,14 @@ class SearchConfig:
         per-engine result cache can key one entry on
         ``(method, vertices, resolved config, graph version)``.  Explicit
         field order (rather than relying on ``__hash__``) keeps the key
-        stable and self-describing.
+        stable and self-describing.  ``deadline_ms`` is excluded: a
+        deadline bounds the wait, not the answer, so the same query under
+        different deadlines must share one cache entry.
         """
         return tuple(
-            getattr(self, f.name) for f in dataclasses.fields(self)
+            getattr(self, f.name)
+            for f in dataclasses.fields(self)
+            if f.name != "deadline_ms"
         )
 
     def effective_k1(self) -> Optional[int]:

@@ -70,9 +70,13 @@ from repro.core.bcc_model import BCCParameters, resolve_query_labels
 from repro.core.multilabel import resolve_mbcc_parameters, validate_mbcc_query
 from repro.eval.instrumentation import SearchInstrumentation
 from repro.exceptions import (
+    REASON_DEADLINE_EXCEEDED,
     REASON_INVALID_QUERY,
     REASON_MISSING_VERTEX,
+    REASON_UNAVAILABLE,
     REASON_UNKNOWN_METHOD,
+    AllReplicasEjectedError,
+    DeadlineExceededError,
     EmptyCommunityError,
     QueryError,
     UnknownMethodError,
@@ -128,16 +132,22 @@ def is_caller_error(query: Query, exc: Exception) -> bool:
 
 
 def reason_for_error(exc: Exception) -> str:
-    """The machine-readable ``REASON_*`` code for a caller error.
+    """The machine-readable ``REASON_*`` code for a failed query.
 
     Shared by :func:`error_response_for` and the HTTP gateway (which maps
     the reason onwards to an HTTP status through
-    :data:`repro.exceptions.HTTP_STATUS_BY_REASON`).
+    :data:`repro.exceptions.HTTP_STATUS_BY_REASON`): deadline expiries map
+    to ``deadline-exceeded`` (504), an all-replicas-ejected outage to
+    ``unavailable`` (503), caller errors to their 4xx reasons.
     """
     if isinstance(exc, VertexNotFoundError):
         return REASON_MISSING_VERTEX
     if isinstance(exc, UnknownMethodError):
         return REASON_UNKNOWN_METHOD
+    if isinstance(exc, DeadlineExceededError):
+        return REASON_DEADLINE_EXCEEDED
+    if isinstance(exc, AllReplicasEjectedError):
+        return REASON_UNAVAILABLE
     return REASON_INVALID_QUERY
 
 
@@ -150,6 +160,56 @@ def error_response_for(query: Query, exc: Exception) -> SearchResponse:
         reason=reason_for_error(exc),
         error=_error_message(exc),
     )
+
+
+def run_with_deadline(fn, seconds: Optional[float], what: str = "call"):
+    """Run ``fn`` but give up after ``seconds`` of wall clock.
+
+    ``None`` runs inline with zero overhead — the no-deadline path is
+    unchanged.  Otherwise ``fn`` runs on a fresh *daemon* thread and the
+    caller waits at most ``seconds``: on timeout,
+    :class:`~repro.exceptions.DeadlineExceededError` is raised and the
+    worker is abandoned (a pure-Python kernel cannot be preempted
+    mid-peel; the daemon flag keeps an eternally stalled worker from
+    blocking process exit).  Exceptions from ``fn`` re-raise in the caller
+    unchanged.  This is the one enforcement primitive behind
+    ``search_many``'s per-row deadlines and the HTTP gateway's per-request
+    deadline.
+    """
+    if seconds is None:
+        return fn()
+    box: Dict[str, object] = {}
+    done = threading.Event()
+
+    def work() -> None:
+        try:
+            box["value"] = fn()
+        except BaseException as exc:  # re-raised in the caller below
+            box["error"] = exc
+        finally:
+            done.set()
+
+    worker = threading.Thread(target=work, name=f"deadline:{what}", daemon=True)
+    worker.start()
+    if not done.wait(timeout=max(0.0, seconds)):
+        raise DeadlineExceededError(deadline_ms=seconds * 1000.0)
+    if "error" in box:
+        raise box["error"]  # type: ignore[misc]
+    return box["value"]
+
+
+def deadline_seconds_for(*configs: Optional[SearchConfig]) -> Optional[float]:
+    """The effective deadline (seconds) from a config-precedence chain.
+
+    The first non-``None`` config wins *entirely* — exactly the precedence
+    ``search`` applies to every other field — so a call-level config
+    without a deadline deliberately clears a batch-level one.
+    """
+    for config in configs:
+        if config is not None:
+            deadline_ms = getattr(config, "deadline_ms", None)
+            return None if deadline_ms is None else deadline_ms / 1000.0
+    return None
 
 
 def serve_batch(
@@ -171,6 +231,16 @@ def serve_batch(
     semantics (validation, config precedence, per-query error policy,
     position-aligned thread-pool dispatch) can never diverge between them.
     ``prepare`` optionally runs once before a non-empty batch is served.
+
+    **Deadlines.**  When a row's effective config carries ``deadline_ms``,
+    that row is served through :func:`run_with_deadline`: its budget runs
+    from the moment the row is dispatched, and a row that exhausts it
+    becomes a position-aligned ``status="error"`` /
+    ``reason="deadline-exceeded"`` row under ``on_error="return"`` (or
+    raises :class:`~repro.exceptions.DeadlineExceededError` under
+    ``"raise"``).  One stalled query therefore costs the batch at most its
+    own budget instead of wedging every row behind it; rows without a
+    deadline are served inline, unchanged.
     """
     if on_error not in ON_ERROR_POLICIES:
         raise QueryError(
@@ -196,14 +266,27 @@ def serve_batch(
             return batch_config
         return config
 
+    engine_config = getattr(engine, "config", None)
+
     def serve(query: Query) -> SearchResponse:
+        deadline = deadline_seconds_for(
+            config, query.config, batch_config, engine_config
+        )
         try:
-            return engine.search(
-                query,
-                config=effective_config(query),
-                instrumentation=instrumentation,
-                use_cache=use_cache,
+            return run_with_deadline(
+                lambda: engine.search(
+                    query,
+                    config=effective_config(query),
+                    instrumentation=instrumentation,
+                    use_cache=use_cache,
+                ),
+                deadline,
+                what=f"row:{query.method}",
             )
+        except DeadlineExceededError as exc:
+            if on_error == "raise":
+                raise
+            return error_response_for(query, exc)
         except (QueryError, VertexNotFoundError) as exc:
             if on_error == "raise" or not is_caller_error(query, exc):
                 raise
@@ -258,6 +341,13 @@ class BCCEngine:
         evicted and counted in ``"result_cache_expirations"``), and
         ``method_budget`` caps how many entries one method may hold —
         exceeding the budget evicts that method's oldest entries only.
+    fault_plan:
+        Optional :class:`repro.server.faults.FaultPlan` (or any object with
+        an ``on(site, **attrs)`` hook).  :meth:`search` invokes it at site
+        ``"engine.search"`` with ``method``/``vertices`` attributes before
+        running the query, so chaos tests can make this engine raise or
+        stall on a deterministic schedule.  ``None`` (the default) costs
+        nothing.
 
     The engine assumes a *serving* graph: searches never mutate it, and the
     caches stay warm across queries.  If the graph is mutated anyway, the
@@ -273,6 +363,7 @@ class BCCEngine:
         index: Optional[BCIndex] = None,
         result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE,
         result_cache_policy: Optional[object] = None,
+        fault_plan: Optional[object] = None,
     ) -> None:
         if not isinstance(graph, LabeledGraph):
             graph = getattr(graph, "graph", graph)
@@ -282,6 +373,7 @@ class BCCEngine:
             raise ValueError("result_cache_size must be non-negative")
         self.graph: LabeledGraph = graph
         self.config: SearchConfig = config if config is not None else SearchConfig()
+        self.fault_plan = fault_plan
         self._index: Optional[BCIndex] = index
         self._groups: Dict[Label, LabeledGraph] = {}
         self._graph_version: int = graph.version()
@@ -605,6 +697,12 @@ class BCCEngine:
         self._check_version()
         spec = get_method(query.method)
         cfg = self._resolve_config(query, config)
+        if self.fault_plan is not None:
+            # The chaos hook: a scheduled fault raises InjectedFault (a
+            # replica-level failure, never a caller error) or stalls here.
+            self.fault_plan.on(
+                "engine.search", method=spec.name, vertices=query.vertices
+            )
         cache_key: Optional[Tuple] = None
         if use_cache and self._result_cache_size > 0 and instrumentation is None:
             cache_key = (

@@ -169,6 +169,11 @@ class SearchResponse:
         engine's lazy BCindex build).
     instrumentation:
         The per-search counters recorded by the algorithm.
+    degraded:
+        ``True`` only on answers replayed from a stale cache because no
+        healthy replica could serve the query live (the HTTP gateway's
+        degraded mode).  A degraded answer was correct when computed but
+        may not reflect the current graph; engines never set it.
     """
 
     method: str
@@ -180,6 +185,7 @@ class SearchResponse:
     vertices: Set[Vertex] = field(default_factory=set)
     timings: Dict[str, float] = field(default_factory=dict)
     instrumentation: Optional[SearchInstrumentation] = None
+    degraded: bool = False
 
     @property
     def found(self) -> bool:

@@ -78,6 +78,18 @@ REASON_CROSS_SHARD = "cross-shard"
 REASON_INVALID_QUERY = "invalid-query"
 REASON_UNKNOWN_METHOD = "unknown-method"
 
+#: The query's deadline (``SearchConfig.deadline_ms``) expired before an
+#: answer was produced.  Surfaced as a position-aligned error row by
+#: ``search_many`` (one stalled query cannot wedge a batch) and enforced per
+#: request by the HTTP gateway, where it maps to ``504 Gateway Timeout``.
+REASON_DEADLINE_EXCEEDED = "deadline-exceeded"
+
+#: No healthy replica can serve the graph right now (every replica is
+#: ejected by the health tracker).  The gateway answers a cached degraded
+#: response when it has one, else ``503 Service Unavailable`` +
+#: ``Retry-After``.
+REASON_UNAVAILABLE = "unavailable"
+
 #: Every registered reason code, derived from the module globals so a new
 #: ``REASON_*`` constant is automatically part of the contract (and the
 #: exhaustiveness test fails until :data:`HTTP_STATUS_BY_REASON` maps it).
@@ -109,6 +121,8 @@ HTTP_STATUS_BY_REASON = {
     REASON_MISSING_VERTEX: 404,
     REASON_INVALID_QUERY: 400,
     REASON_UNKNOWN_METHOD: 400,
+    REASON_UNAVAILABLE: 503,
+    REASON_DEADLINE_EXCEEDED: 504,
 }
 
 
@@ -145,6 +159,41 @@ class IndexNotBuiltError(ReproError):
 
 class DatasetError(ReproError):
     """Raised when a synthetic dataset generator receives invalid parameters."""
+
+
+class DeadlineExceededError(ReproError):
+    """A serving deadline (``SearchConfig.deadline_ms``) expired.
+
+    Raised at the serving seams that can actually enforce a wall-clock
+    bound — ``search_many``'s per-row dispatch and the HTTP gateway's
+    request handler — never from inside a kernel (a pure-Python peeling
+    loop cannot be preempted).  Carries the expired budget so error rows
+    and 504 payloads can report it.
+    """
+
+    def __init__(self, message: str = "", deadline_ms=None) -> None:
+        if not message:
+            budget = f"{deadline_ms:g}ms" if deadline_ms is not None else "deadline"
+            message = f"deadline of {budget} exceeded before an answer was produced"
+        super().__init__(message)
+        self.deadline_ms = deadline_ms
+
+
+class AllReplicasEjectedError(ReproError):
+    """Every replica of a served graph is currently ejected as unhealthy.
+
+    Raised by ``ReplicaSet`` routing when the health tracker has opened the
+    circuit on all replicas and none is due for a re-admission probe.  The
+    HTTP gateway converts it into a degraded cached answer or a ``503`` +
+    ``Retry-After`` — never a hang.
+    """
+
+    def __init__(self, name: str = "replica-set", replicas: int = 0) -> None:
+        super().__init__(
+            f"all {replicas} replicas of {name!r} are ejected as unhealthy"
+        )
+        self.name = name
+        self.replicas = replicas
 
 
 class GraphNotFoundError(ReproError, KeyError):

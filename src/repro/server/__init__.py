@@ -23,7 +23,15 @@ remote client, with nothing beyond the Python standard library:
 * :mod:`repro.server.client` — :class:`GatewayClient`, a urllib-based
   client mirroring the engine surface (``search`` / ``search_many`` /
   ``explain`` / ``stats``), decoding wire responses back into
-  :class:`~repro.api.SearchResponse` objects.
+  :class:`~repro.api.SearchResponse` objects, with optional bounded
+  retries (:class:`RetryPolicy`).
+* :mod:`repro.server.resilience` — per-replica health tracking with
+  half-open circuit breaking (:class:`HealthPolicy` /
+  :class:`ReplicaHealth`), retry backoff (:class:`RetryPolicy`) and
+  deadline enforcement (:func:`run_with_deadline`).
+* :mod:`repro.server.faults` — deterministic, seeded fault injection
+  (:class:`FaultPlan` / :class:`FaultRule` / :class:`InjectedFault`) for
+  chaos-testing every serving seam without monkeypatching.
 """
 
 from repro.server.app import DEFAULT_MAX_IN_FLIGHT, Gateway
@@ -31,7 +39,9 @@ from repro.server.client import (
     GatewayClient,
     GatewayError,
     GatewayOverloadedError,
+    GatewayUnavailableError,
 )
+from repro.server.faults import FaultPlan, FaultRule, InjectedFault
 from repro.server.protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
@@ -45,16 +55,29 @@ from repro.server.protocol import (
     json_loads,
 )
 from repro.server.replicas import ReplicaSet
+from repro.server.resilience import (
+    HealthPolicy,
+    ReplicaHealth,
+    RetryPolicy,
+    run_with_deadline,
+)
 
 __all__ = [
     "DEFAULT_MAX_IN_FLIGHT",
+    "FaultPlan",
+    "FaultRule",
     "Gateway",
     "GatewayClient",
     "GatewayError",
     "GatewayOverloadedError",
+    "GatewayUnavailableError",
+    "HealthPolicy",
+    "InjectedFault",
     "PROTOCOL_VERSION",
     "ProtocolError",
+    "ReplicaHealth",
     "ReplicaSet",
+    "RetryPolicy",
     "decode_batch",
     "decode_query",
     "decode_response",
@@ -63,4 +86,5 @@ __all__ = [
     "encode_response",
     "json_dumps",
     "json_loads",
+    "run_with_deadline",
 ]

@@ -27,11 +27,18 @@ Two serving-tier policies live at this boundary:
   from the single reason→status table next to the reason codes
   (:data:`repro.exceptions.HTTP_STATUS_BY_REASON`): missing query vertex →
   404, malformed query / unknown method → 400, empty answers (cross-shard
-  included) → 200 — an empty community is a successful search.
+  included) → 200 — an empty community is a successful search; a query
+  that outruns its ``deadline_ms`` → 504; a graph whose every replica is
+  ejected → 503 with ``Retry-After`` — unless the gateway has a cached
+  last-good answer for the exact query, which it replays marked
+  ``degraded: true`` (stale beats down).
 
 Every request emits one structured JSON access-log line on the
 ``repro.server.access`` logger (method, path, status, duration, in-flight
-gauge) — parseable telemetry, not prose.
+gauge, request id) — parseable telemetry, not prose.  Callers may supply
+an ``X-Request-Id`` header (generated when absent); it is echoed on the
+response and stamped into error payloads, so one id follows a request
+through client logs, access logs and error bodies.
 """
 
 from __future__ import annotations
@@ -40,15 +47,21 @@ import json
 import logging
 import threading
 import time
+import uuid
+from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 
 from repro.api.engine import (
+    deadline_seconds_for,
     error_response_for,
     is_caller_error,
     reason_for_error,
+    run_with_deadline,
 )
 from repro.exceptions import (
+    AllReplicasEjectedError,
+    DeadlineExceededError,
     GraphNotFoundError,
     QueryError,
     VertexNotFoundError,
@@ -68,6 +81,7 @@ from repro.server.protocol import (
 from repro.serving.stats import STATS_SCHEMA_VERSION
 
 __all__ = [
+    "DEFAULT_DEGRADED_CACHE_SIZE",
     "DEFAULT_MAX_BODY_BYTES",
     "DEFAULT_MAX_IN_FLIGHT",
     "DEFAULT_RETRY_AFTER_SECONDS",
@@ -76,6 +90,13 @@ __all__ = [
 
 #: Default cap on concurrently served POST requests.
 DEFAULT_MAX_IN_FLIGHT = 64
+
+#: Default size of the gateway's last-good-answer cache (degraded mode).
+DEFAULT_DEGRADED_CACHE_SIZE = 256
+
+#: Longest accepted caller-supplied ``X-Request-Id`` (longer ids are
+#: replaced, not truncated — a mangled id is worse than a fresh one).
+_MAX_REQUEST_ID_LENGTH = 128
 
 #: Default ``Retry-After`` (seconds) on a 429 rejection.
 DEFAULT_RETRY_AFTER_SECONDS = 1
@@ -130,6 +151,29 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args: object) -> None:
         """Silence the default stderr chatter; access logs are structured."""
 
+    def _assign_request_id(self) -> str:
+        """Adopt the caller's ``X-Request-Id`` or mint one.
+
+        A caller-supplied id must be modest (≤128 chars) and printable
+        ASCII — anything else (including header-splitting control bytes)
+        is replaced with a fresh id rather than echoed back.
+        """
+        supplied = self.headers.get("X-Request-Id", "")
+        if (
+            supplied
+            and len(supplied) <= _MAX_REQUEST_ID_LENGTH
+            and all(32 <= ord(ch) < 127 for ch in supplied)
+        ):
+            self._request_id = supplied
+        else:
+            self._request_id = uuid.uuid4().hex
+        return self._request_id
+
+    @property
+    def request_id(self) -> str:
+        """This request's id (assigned at the top of do_GET / do_POST)."""
+        return getattr(self, "_request_id", "") or "-"
+
     def _access_log(self, method: str, status: int, started: float) -> None:
         record = {
             "method": method,
@@ -137,6 +181,7 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
             "status": status,
             "duration_ms": round((time.perf_counter() - started) * 1000.0, 3),
             "in_flight": self.gateway.in_flight(),
+            "request_id": self.request_id,
         }
         ACCESS_LOGGER.info("%s", json.dumps(record, sort_keys=True))
 
@@ -150,6 +195,7 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json; charset=utf-8")
         self.send_header("Content-Length", str(len(body)))
+        self.send_header("X-Request-Id", self.request_id)
         for name, value in headers:
             self.send_header(name, value)
         self.end_headers()
@@ -157,7 +203,10 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
         return status
 
     def _send_error_json(self, status: int, code: str, message: str) -> int:
-        return self._send_json(status, {"error": message, "code": code})
+        return self._send_json(
+            status,
+            {"error": message, "code": code, "request_id": self.request_id},
+        )
 
     def _read_body(self) -> bytes:
         length_header = self.headers.get("Content-Length")
@@ -187,9 +236,16 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 (stdlib handler naming)
         started = time.perf_counter()
         gateway = self.gateway
+        self._assign_request_id()
         try:
             if self.path == "/healthz":
-                status = self._send_json(200, gateway.health_payload())
+                payload = gateway.health_payload()
+                # A gateway whose every replica of some graph is ejected is
+                # not healthy: load balancers reading /healthz should stop
+                # sending it traffic until a probe re-admits a replica.
+                status = self._send_json(
+                    503 if payload["status"] == "down" else 200, payload
+                )
             elif self.path == "/graphs":
                 status = self._send_json(
                     200, {"graphs": gateway.directory.names()}
@@ -212,6 +268,7 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 (stdlib handler naming)
         started = time.perf_counter()
         gateway = self.gateway
+        self._assign_request_id()
         try:
             name, verb = self._route_post()
         except _ClientError as exc:
@@ -247,6 +304,21 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
             status = self._serve_post(name, verb)
         except _ClientError as exc:
             status = self._send_error_json(exc.status, exc.code, str(exc))
+        except AllReplicasEjectedError as exc:
+            # Every replica of the graph is ejected and no degraded answer
+            # was available: tell the client when to come back instead of
+            # hanging or answering 500.
+            gateway.count("unavailable")
+            status = self._send_json(
+                503,
+                {
+                    "error": str(exc),
+                    "code": "unavailable",
+                    "request_id": self.request_id,
+                    "retry_after_seconds": gateway.retry_after_seconds,
+                },
+                headers=(("Retry-After", str(gateway.retry_after_seconds)),),
+            )
         except GraphNotFoundError as exc:
             status = self._send_json(
                 404,
@@ -278,6 +350,9 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
         return name, verb
 
     def _serve_post(self, name: str, verb: str) -> int:
+        fault_plan = self.gateway.fault_plan
+        if fault_plan is not None:
+            fault_plan.on("gateway.request", endpoint=verb, graph=name)
         payload = json_loads(self._read_body())
         if not isinstance(payload, dict):
             raise _ClientError(400, "bad-request", "request body must be a JSON object")
@@ -307,17 +382,50 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
         query = decode_query(payload.get("query"))
         config = decode_config(payload.get("config"))
         use_cache = bool(payload.get("use_cache", True))
+        gateway = self.gateway
+        engine = gateway.directory.get(name)
+        deadline = deadline_seconds_for(
+            config, query.config, getattr(engine, "config", None)
+        )
+        degraded_key = gateway.degraded_cache_key(name, payload)
         try:
-            response = self.gateway.directory.serve(
-                name, query, config=config, use_cache=use_cache
+            response = run_with_deadline(
+                lambda: gateway.directory.serve(
+                    name, query, config=config, use_cache=use_cache
+                ),
+                deadline,
+                what=f"search:{name}",
             )
         except (QueryError, VertexNotFoundError) as exc:
             if not is_caller_error(query, exc):
                 raise  # an implementation bug is a 500, not a caller error
             response = error_response_for(query, exc)
+        except DeadlineExceededError as exc:
+            gateway.count("deadline_exceeded")
+            response = error_response_for(query, exc)
+        except AllReplicasEjectedError:
+            # Degraded mode: replay the last good answer for this exact
+            # request (marked so) rather than failing — stale beats down.
+            stale = gateway.degraded_cache_get(degraded_key)
+            if stale is None:
+                raise  # → 503 + Retry-After in do_POST
+            gateway.count("degraded")
+            replay = dict(stale)
+            replay["degraded"] = True
+            return self._send_json(
+                http_status_for_response(
+                    str(replay.get("status", "ok")), replay.get("reason")
+                ),
+                replay,
+            )
+        encoded = self._encode_response(response)
+        if response.status != "error":
+            # Only genuinely served answers become degraded-mode material;
+            # caching error rows would replay failures.
+            gateway.degraded_cache_put(degraded_key, encoded)
         return self._send_json(
             http_status_for_response(response.status, response.reason),
-            self._encode_response(response),
+            encoded,
         )
 
     def _serve_search_many(self, name: str, payload: Dict[str, object]) -> int:
@@ -393,9 +501,16 @@ class Gateway:
         Bounded admission: at most this many POST requests are served
         concurrently; overflow is answered ``429`` + ``Retry-After``.
     retry_after_seconds:
-        The hint sent with 429 responses.
+        The hint sent with 429 (overload) and 503 (unavailable) responses.
     max_body_bytes:
         Request bodies above this size are refused with ``413``.
+    fault_plan:
+        Optional :class:`repro.server.faults.FaultPlan` consulted at the
+        ``"gateway.request"`` site before each POST is served.
+    degraded_cache_size:
+        Entries in the last-good-answer cache backing degraded mode
+        (``0`` disables degraded answers entirely — all-replicas-down then
+        always answers 503).
 
     Use as a context manager (or call :meth:`start` / :meth:`stop`)::
 
@@ -412,15 +527,23 @@ class Gateway:
         max_in_flight: int = DEFAULT_MAX_IN_FLIGHT,
         retry_after_seconds: int = DEFAULT_RETRY_AFTER_SECONDS,
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        fault_plan: Optional[object] = None,
+        degraded_cache_size: int = DEFAULT_DEGRADED_CACHE_SIZE,
     ) -> None:
         if max_in_flight < 1:
             raise ValueError("max_in_flight must be >= 1")
         if retry_after_seconds < 0:
             raise ValueError("retry_after_seconds must be non-negative")
+        if degraded_cache_size < 0:
+            raise ValueError("degraded_cache_size must be non-negative")
         self.directory = directory
         self.max_in_flight = max_in_flight
         self.retry_after_seconds = retry_after_seconds
         self.max_body_bytes = max_body_bytes
+        self.fault_plan = fault_plan
+        self.degraded_cache_size = degraded_cache_size
+        self._degraded_lock = threading.Lock()
+        self._degraded_cache: "OrderedDict[str, Dict[str, object]]" = OrderedDict()
         self._slots = threading.Semaphore(max_in_flight)
         self._gauge_lock = threading.Lock()
         self._in_flight = 0
@@ -428,6 +551,9 @@ class Gateway:
             "requests": 0,
             "rejections": 0,
             "errors": 0,
+            "deadline_exceeded": 0,
+            "degraded": 0,
+            "unavailable": 0,
         }
         self._started_monotonic = time.monotonic()
         self._httpd = _GatewayHTTPServer((host, port), _GatewayRequestHandler)
@@ -466,6 +592,38 @@ class Gateway:
             return dict(self._counters)
 
     # ------------------------------------------------------------------
+    # degraded mode (last-good-answer cache)
+    # ------------------------------------------------------------------
+    def degraded_cache_key(self, name: str, payload: Dict[str, object]) -> str:
+        """One stable key per (graph, exact request payload).
+
+        Keyed on the *wire* payload — two requests that would hit the same
+        engine-cache entry but spell their config differently get separate
+        degraded entries, which errs toward correctness (a degraded answer
+        must match exactly what this caller asked before).
+        """
+        return json_dumps({"graph": name, "payload": payload})
+
+    def degraded_cache_put(self, key: str, encoded: Dict[str, object]) -> None:
+        """Remember a served answer as degraded-mode material (LRU)."""
+        if self.degraded_cache_size == 0:
+            return
+        with self._degraded_lock:
+            self._degraded_cache[key] = dict(encoded)
+            self._degraded_cache.move_to_end(key)
+            while len(self._degraded_cache) > self.degraded_cache_size:
+                self._degraded_cache.popitem(last=False)
+
+    def degraded_cache_get(self, key: str) -> Optional[Dict[str, object]]:
+        """The last good answer for this exact request, if any (LRU touch)."""
+        with self._degraded_lock:
+            encoded = self._degraded_cache.get(key)
+            if encoded is None:
+                return None
+            self._degraded_cache.move_to_end(key)
+            return dict(encoded)
+
+    # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     @property
@@ -486,10 +644,27 @@ class Gateway:
         return time.monotonic() - self._started_monotonic
 
     def health_payload(self) -> Dict[str, object]:
-        """The ``/healthz`` body: liveness, uptime, versions, admission."""
+        """The ``/healthz`` body: readiness, uptime, versions, admission.
+
+        ``status`` is the worst per-graph readiness state: ``"ok"`` when
+        every served graph would serve a query right now, ``"degraded"``
+        when some graph has ejected replicas but could still answer,
+        ``"down"`` when some graph cannot answer at all (the handler turns
+        that into a 503).  ``graphs`` carries the per-graph breakdown from
+        :meth:`GraphDirectory.readiness`.
+        """
         counters = self.counters_snapshot()
+        readiness = self.directory.readiness()
+        states = [str(entry.get("state", "ok")) for entry in readiness.values()]
+        if any(state == "down" for state in states):
+            status = "down"
+        elif any(state == "degraded" for state in states):
+            status = "degraded"
+        else:
+            status = "ok"
         return {
-            "status": "ok",
+            "status": status,
+            "graphs": readiness,
             "uptime_seconds": self.uptime_seconds(),
             "protocol_version": PROTOCOL_VERSION,
             "stats_schema_version": STATS_SCHEMA_VERSION,
@@ -498,6 +673,8 @@ class Gateway:
             "in_flight": self.in_flight(),
             "requests": counters["requests"],
             "rejections": counters["rejections"],
+            "degraded_answers": counters["degraded"],
+            "deadline_exceeded": counters["deadline_exceeded"],
         }
 
     def start(self) -> "Gateway":

@@ -20,21 +20,41 @@ Error surface:
 * a 429 backpressure rejection raises :class:`GatewayOverloadedError`
   carrying the server's ``Retry-After`` hint, so callers can implement
   honest backoff;
+* a 503 (every replica of the graph ejected, no degraded answer) raises
+  :class:`GatewayUnavailableError`, also carrying ``Retry-After``;
 * transport failures (connection refused, timeouts, non-JSON bodies)
   raise :class:`GatewayError`.
+
+With a :class:`repro.server.resilience.RetryPolicy` the client absorbs
+transient trouble itself: 429/503 answers and transport failures are
+retried up to ``max_attempts`` with exponential backoff and full jitter,
+sleeping at least the server's ``Retry-After`` hint when one was given.
+Only **idempotent** requests are retried after a transport failure (the
+request may or may not have executed) — every verb this client speaks is a
+read or a pure search, so all are marked idempotent.  By default
+(``retry_policy=None``) nothing is retried and the error surface above is
+exact.
 """
 
 from __future__ import annotations
 
 import http.client
+import random
 import socket
 import threading
+import time
 import urllib.parse
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.api.config import SearchConfig
 from repro.api.query import BatchQuery, Query, SearchResponse
-from repro.exceptions import GraphNotFoundError, QueryError, ReproError
+from repro.exceptions import (
+    REASON_DEADLINE_EXCEEDED,
+    DeadlineExceededError,
+    GraphNotFoundError,
+    QueryError,
+    ReproError,
+)
 from repro.server.protocol import (
     ProtocolError,
     decode_response,
@@ -44,8 +64,14 @@ from repro.server.protocol import (
     json_dumps,
     json_loads,
 )
+from repro.server.resilience import RetryPolicy
 
-__all__ = ["GatewayClient", "GatewayError", "GatewayOverloadedError"]
+__all__ = [
+    "GatewayClient",
+    "GatewayError",
+    "GatewayOverloadedError",
+    "GatewayUnavailableError",
+]
 
 
 class GatewayError(ReproError):
@@ -56,6 +82,18 @@ class GatewayOverloadedError(GatewayError):
     """The gateway answered 429: too many in-flight requests.
 
     ``retry_after_seconds`` carries the server's ``Retry-After`` hint.
+    """
+
+    def __init__(self, message: str, retry_after_seconds: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_seconds = retry_after_seconds
+
+
+class GatewayUnavailableError(GatewayError):
+    """The gateway answered 503: no healthy replica can serve the graph.
+
+    ``retry_after_seconds`` carries the server's ``Retry-After`` hint —
+    roughly when an ejected replica's probe window opens.
     """
 
     def __init__(self, message: str, retry_after_seconds: float = 1.0) -> None:
@@ -74,11 +112,35 @@ class GatewayClient:
     timeout_seconds:
         Per-request socket timeout; a hung server fails the call instead of
         hanging the client forever.
+    retry_policy:
+        Optional :class:`repro.server.resilience.RetryPolicy`.  When set,
+        429/503 answers and transport failures on idempotent requests are
+        retried with jittered exponential backoff; ``None`` (the default)
+        retries nothing.
+    retry_rng:
+        RNG feeding the jitter (defaults to a fresh seeded
+        ``random.Random(0)`` — deterministic schedules in tests; share one
+        RNG across clients for decorrelated production jitter).
+    sleep:
+        The sleep used between retries — injectable so tests assert the
+        backoff schedule against a fake clock instead of waiting it out.
     """
 
-    def __init__(self, base_url: str, timeout_seconds: float = 30.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout_seconds: float = 30.0,
+        retry_policy: Optional[RetryPolicy] = None,
+        retry_rng: Optional[random.Random] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout_seconds = timeout_seconds
+        self.retry_policy = retry_policy
+        self._retry_rng = retry_rng if retry_rng is not None else random.Random(0)
+        self._sleep = sleep
+        self._retry_lock = threading.Lock()
+        self._retries = 0
         split = urllib.parse.urlsplit(self.base_url)
         if split.scheme != "http" or not split.hostname:
             raise ValueError(
@@ -140,10 +202,9 @@ class GatewayClient:
             self._drop_connection()
         return response.status, headers, payload
 
-    def _request(
-        self, method: str, path: str, payload: Optional[object] = None
+    def _request_once(
+        self, method: str, path: str, body: Optional[bytes]
     ) -> object:
-        body = json_dumps(payload).encode("utf-8") if payload is not None else None
         try:
             try:
                 status, headers, raw = self._exchange(method, path, body)
@@ -160,6 +221,47 @@ class GatewayClient:
         if status >= 400:
             raise self._http_error(status, headers, raw)
         return json_loads(raw)
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[object] = None,
+        idempotent: bool = True,
+    ) -> object:
+        body = json_dumps(payload).encode("utf-8") if payload is not None else None
+        policy = self.retry_policy
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(method, path, body)
+            except (GatewayOverloadedError, GatewayUnavailableError) as exc:
+                # Explicitly retryable: the server said "come back later".
+                if policy is None or attempt + 1 >= policy.max_attempts:
+                    raise
+                delay = max(
+                    policy.delay_seconds(attempt, self._retry_rng),
+                    exc.retry_after_seconds,
+                )
+            except GatewayError:
+                # Transport failure: the request may or may not have run
+                # server-side, so only idempotent requests retry.  (Every
+                # verb this client currently speaks is idempotent; the flag
+                # exists for future mutating endpoints.)
+                if policy is None or not idempotent:
+                    raise
+                if attempt + 1 >= policy.max_attempts:
+                    raise
+                delay = policy.delay_seconds(attempt, self._retry_rng)
+            with self._retry_lock:
+                self._retries += 1
+            self._sleep(delay)
+            attempt += 1
+
+    def retries(self) -> int:
+        """Total retry attempts this client has performed (all threads)."""
+        with self._retry_lock:
+            return self._retries
 
     def _http_error(
         self, status: int, headers: Dict[str, str], raw: bytes
@@ -178,11 +280,28 @@ class GatewayClient:
                 f"gateway overloaded (429), retry after {seconds:g}s",
                 retry_after_seconds=seconds,
             )
+        if status == 503:
+            try:
+                seconds = float(headers.get("Retry-After", "1"))
+            except ValueError:
+                seconds = 1.0
+            message = ""
+            if isinstance(body, dict):
+                message = str(body.get("error", ""))
+            return GatewayUnavailableError(
+                message
+                or f"gateway unavailable (503), retry after {seconds:g}s",
+                retry_after_seconds=seconds,
+            )
         if isinstance(body, dict):
             message = str(body.get("error", f"HTTP {status}"))
             code = body.get("code")
             if code == "graph-not-found":
                 return GraphNotFoundError(body.get("graph", message))
+            # A 504 carrying a deadline-exceeded row re-raises as the same
+            # exception the in-process deadline seam throws.
+            if body.get("reason") == REASON_DEADLINE_EXCEEDED:
+                return DeadlineExceededError(message)
             # A 400/404 carrying an encoded error *row* (single-query
             # search): surface the engine's own message as a QueryError,
             # matching what BCCEngine.search would have raised.

@@ -303,7 +303,7 @@ def encode_response(response: SearchResponse) -> Dict[str, object]:
     ride as a plain float map.  The native ``result`` object and the
     instrumentation stay server-side.
     """
-    return {
+    payload: Dict[str, object] = {
         "method": response.method,
         "query": [
             _check_scalar(vertex, "response query vertex")
@@ -320,6 +320,11 @@ def encode_response(response: SearchResponse) -> Dict[str, object]:
             for name, value in response.timings.items()
         },
     }
+    # Only degraded (stale-cache) answers carry the marker; the common case
+    # stays byte-identical to protocol version 1 payloads.
+    if getattr(response, "degraded", False):
+        payload["degraded"] = True
+    return payload
 
 
 def decode_response(payload: object) -> SearchResponse:
@@ -359,6 +364,7 @@ def decode_response(payload: object) -> SearchResponse:
         error=payload.get("error"),
         vertices=vertices,
         timings={name: decode_float(value) for name, value in timings.items()},
+        degraded=bool(payload.get("degraded", False)),
     )
 
 

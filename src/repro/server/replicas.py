@@ -19,7 +19,20 @@ graph behind one ``ServingEngine``-shaped front (``search`` /
   ``LabeledGraph`` (whose version-cached CSR freeze is paid once for the
   whole set) but each owns its result cache, label groups, BCindex and
   locks, so concurrent serving threads stop contending on one engine's
-  cache lock.
+  cache lock;
+* **health, ejection & failover** — every replica carries a
+  :class:`repro.server.resilience.ReplicaHealth` circuit breaker: a query
+  that fails with a *non-caller* error (an engine crash, an injected
+  fault) is transparently retried on another healthy replica, the failing
+  replica accrues a health penalty, and after
+  ``HealthPolicy.failure_threshold`` consecutive failures it is ejected
+  from routing; after ``ejection_seconds`` the breaker admits one probe
+  query whose outcome re-admits or re-ejects it.  Caller errors
+  (:class:`~repro.exceptions.QueryError`, a missing query vertex) raise
+  through unchanged and never penalize a replica — a bad query is not a
+  sick server.  When *every* replica is ejected,
+  :class:`~repro.exceptions.AllReplicasEjectedError` is raised instead of
+  hanging.
 
 ``GraphDirectory.add(name, graph, replicas=N)`` registers a replica set
 exactly like any other engine, so a hot graph scales horizontally without
@@ -30,17 +43,20 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Callable, Dict, Iterable, List, Optional, Set, Union
 
 from repro.api.config import SearchConfig
 from repro.api.engine import (
     DEFAULT_RESULT_CACHE_SIZE,
     BCCEngine,
+    is_caller_error,
     serve_batch,
 )
 from repro.api.query import BatchQuery, Query, SearchResponse
 from repro.eval.instrumentation import SearchInstrumentation
+from repro.exceptions import AllReplicasEjectedError
 from repro.graph.labeled_graph import LabeledGraph
+from repro.server.resilience import HealthPolicy, ReplicaHealth
 from repro.serving.sharded import ShardedBCCEngine
 from repro.serving.stats import (
     LatencyHistogram,
@@ -70,10 +86,20 @@ class ReplicaSet:
         Forwarded to every replica's result cache; each replica owns its
         own cache (a policy object is shared — policies are stateless or
         internally locked).
+    health_policy:
+        The per-replica :class:`HealthPolicy` (one breaker per replica,
+        shared policy).  Defaults to ``HealthPolicy()``.
+    fault_plan:
+        Optional :class:`repro.server.faults.FaultPlan` consulted at the
+        ``"replica.search"`` site before each dispatch (chaos testing).
+    clock:
+        Monotonic clock driving the breakers' ejection windows — injectable
+        so chaos tests advance time without sleeping.
 
     The set itself adds no new thread-safety requirements: routing state is
-    a small in-flight table under one lock, and everything else is the
-    replicas' own (already thread-safe) machinery.
+    a small in-flight table under one lock, breakers carry their own locks,
+    and everything else is the replicas' own (already thread-safe)
+    machinery.
     """
 
     def __init__(
@@ -84,6 +110,9 @@ class ReplicaSet:
         sharded: bool = False,
         result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE,
         result_cache_policy: Optional[object] = None,
+        health_policy: Optional[HealthPolicy] = None,
+        fault_plan: Optional[object] = None,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if replicas < 1:
             raise ValueError("a replica set needs at least one replica")
@@ -104,10 +133,19 @@ class ReplicaSet:
             for _ in range(replicas)
         ]
         self._sharded = sharded
+        self._fault_plan = fault_plan
+        self.health_policy = (
+            health_policy if health_policy is not None else HealthPolicy()
+        )
+        self._health: List[ReplicaHealth] = [
+            ReplicaHealth(self.health_policy, clock=clock) for _ in range(replicas)
+        ]
         self._route_lock = threading.Lock()
         self._in_flight: List[int] = [0] * replicas
         self._routed: List[int] = [0] * replicas
         self._searches = 0
+        self._failovers = 0
+        self._replica_failures = 0
         self._latency: List[LatencyHistogram] = [
             LatencyHistogram() for _ in range(replicas)
         ]
@@ -128,8 +166,12 @@ class ReplicaSet:
         with self._route_lock:
             return list(self._in_flight)
 
-    def _acquire(self) -> int:
-        """Claim the least-loaded replica (lowest id wins ties).
+    def replica_health(self, replica_id: int) -> ReplicaHealth:
+        """The health breaker behind ``replica_id`` (tests, introspection)."""
+        return self._health[replica_id]
+
+    def _acquire(self, exclude: Optional[Set[int]] = None) -> int:
+        """Claim the least-loaded *healthy* replica (lowest id wins ties).
 
         ``routed`` counts every claim (it measures routing balance, so
         attempts belong in it); the set-level ``searches`` counter is
@@ -137,14 +179,32 @@ class ReplicaSet:
         :class:`BCCEngine`'s "malformed queries are not served searches"
         semantics — so set-level and summed per-replica counters always
         reconcile.
+
+        ``exclude`` lists replicas that already failed this query (failover
+        must not bounce back to them).  Ejected replicas are skipped via
+        their breaker; when no replica will admit the query,
+        :class:`AllReplicasEjectedError` is raised rather than queueing
+        onto a dead set.
         """
+        excluded = exclude if exclude is not None else frozenset()
         with self._route_lock:
-            replica_id = min(
+            order = sorted(
                 range(len(self._engines)), key=lambda i: (self._in_flight[i], i)
             )
-            self._in_flight[replica_id] += 1
-            self._routed[replica_id] += 1
-            return replica_id
+            for replica_id in order:
+                if replica_id in excluded:
+                    continue
+                # try_admit() takes the breaker's own lock inside the route
+                # lock; breakers never take the route lock, so the order is
+                # acyclic.
+                if not self._health[replica_id].try_admit():
+                    continue
+                self._in_flight[replica_id] += 1
+                self._routed[replica_id] += 1
+                return replica_id
+        raise AllReplicasEjectedError(
+            name="replica-set", replicas=len(self._engines)
+        )
 
     def _release(self, replica_id: int) -> None:
         with self._route_lock:
@@ -161,31 +221,76 @@ class ReplicaSet:
         instrumentation: Optional[SearchInstrumentation] = None,
         use_cache: bool = True,
     ) -> SearchResponse:
-        """Serve one query from the least-loaded replica.
+        """Serve one query from the least-loaded healthy replica.
 
         Same surface and semantics as :meth:`BCCEngine.search` — replicas
         serve the same graph, so *which* replica answers never changes the
         answer (asserted by the replica parity tests); it only changes
         which cache warms and which locks contend.
+
+        A replica that fails with a non-caller error is charged a health
+        failure and the query **fails over** to another healthy replica
+        (each replica is tried at most once per query).  Caller errors
+        re-raise immediately without a health verdict.  Once every replica
+        has either failed this query or refused admission, the last
+        replica's error propagates — or :class:`AllReplicasEjectedError`
+        when nothing would even admit the query.
         """
-        replica_id = self._acquire()
-        start = time.perf_counter()
-        try:
-            response = self._engines[replica_id].search(
-                query,
-                config=config,
-                instrumentation=instrumentation,
-                use_cache=use_cache,
-            )
-        finally:
-            self._release(replica_id)
-        # Served queries only: a malformed query raised above and is
-        # neither a search nor a latency observation (same rule as the
-        # monolithic and sharded engines).
-        self._latency[replica_id].observe(time.perf_counter() - start)
-        with self._route_lock:
-            self._searches += 1
-        return response
+        tried: Set[int] = set()
+        last_error: Optional[BaseException] = None
+        while True:
+            try:
+                replica_id = self._acquire(exclude=tried)
+            except AllReplicasEjectedError:
+                if last_error is not None:
+                    # At least one replica actually ran (and failed) this
+                    # query — its error is the informative one.
+                    raise last_error
+                raise
+            health = self._health[replica_id]
+            start = time.perf_counter()
+            try:
+                if self._fault_plan is not None:
+                    self._fault_plan.on(
+                        "replica.search",
+                        replica=replica_id,
+                        method=query.method,
+                        vertices=query.vertices,
+                    )
+                response = self._engines[replica_id].search(
+                    query,
+                    config=config,
+                    instrumentation=instrumentation,
+                    use_cache=use_cache,
+                )
+            except BaseException as exc:
+                if is_caller_error(query, exc):
+                    # Bad query, fine replica: no health verdict (beyond
+                    # releasing a claimed probe slot), no failover — the
+                    # same query would fail identically everywhere.
+                    health.record_neutral()
+                    raise
+                health.record_failure()
+                with self._route_lock:
+                    self._replica_failures += 1
+                    self._failovers += 1
+                tried.add(replica_id)
+                last_error = exc
+                continue
+            finally:
+                # The in-flight gauge must come back down on *every* path —
+                # success, caller error, replica failure — or a crashing
+                # replica would permanently look loaded and skew routing.
+                self._release(replica_id)
+            elapsed = time.perf_counter() - start
+            health.record_success(elapsed)
+            # Served queries only: a malformed query raised above and is
+            # neither a search nor a latency observation (same rule as the
+            # monolithic and sharded engines).
+            self._latency[replica_id].observe(elapsed)
+            with self._route_lock:
+                self._searches += 1
+            return response
 
     def search_many(
         self,
@@ -249,10 +354,43 @@ class ReplicaSet:
         counters = aggregate_counters(
             [engine.counters_snapshot() for engine in self._engines]
         )
+        health_snapshots = [health.snapshot() for health in self._health]
         with self._route_lock:
             counters["searches"] = self._searches
             counters["replicas"] = len(self._engines)
+            counters["failovers"] = self._failovers
+            counters["replica_failures"] = self._replica_failures
+        counters["ejections"] = sum(
+            int(snap["ejections"]) for snap in health_snapshots
+        )
+        counters["readmissions"] = sum(
+            int(snap["readmissions"]) for snap in health_snapshots
+        )
         return counters
+
+    def health_summary(self) -> Dict[str, object]:
+        """The set's health as one coarse verdict plus per-replica states.
+
+        ``state`` is ``"ok"`` when every replica would admit a query,
+        ``"degraded"`` when some would, ``"down"`` when none would (the
+        gateway's ``/healthz`` turns ``"down"`` into a 503).  Uses the
+        side-effect-free :meth:`ReplicaHealth.peek_available`, so reporting
+        health never claims a probe slot.
+        """
+        states = [health.state() for health in self._health]
+        available = sum(1 for health in self._health if health.peek_available())
+        if available == len(states):
+            state = "ok"
+        elif available > 0:
+            state = "degraded"
+        else:
+            state = "down"
+        return {
+            "state": state,
+            "replicas": len(states),
+            "available": available,
+            "states": states,
+        }
 
     def merged_latency(self) -> LatencyHistogram:
         """All per-replica histograms merged into one (shared bounds)."""
@@ -288,6 +426,7 @@ class ReplicaSet:
                     "index_built": payload["index_built"],
                     "counters": payload["counters"],
                     "cache": cache_info,
+                    "health": self._health[replica_id].snapshot(),
                 }
                 cache_hits += int(cache_info.get("hits", 0))
                 cache_misses += int(cache_info.get("misses", 0))
@@ -301,6 +440,7 @@ class ReplicaSet:
                     "shards": len(shard_stats.shards),
                     "counters": dict(shard_stats.counters),
                     "cache": dict(shard_stats.cache),
+                    "health": self._health[replica_id].snapshot(),
                 }
                 cache_hits += int(shard_stats.cache.get("hits", 0))
                 cache_misses += int(shard_stats.cache.get("misses", 0))
@@ -324,6 +464,7 @@ class ReplicaSet:
             },
             latency=self.merged_latency().snapshot(),
             replicas=tuple(blocks),
+            health=self.health_summary(),
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

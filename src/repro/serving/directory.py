@@ -88,6 +88,8 @@ class GraphDirectory:
         config: Optional[SearchConfig] = None,
         result_cache_size: Optional[int] = None,
         result_cache_policy: Optional[object] = None,
+        health_policy: Optional[object] = None,
+        fault_plan: Optional[object] = None,
     ) -> ServingEngine:
         """Host ``graph`` (or a bundle) under ``name`` and return its engine.
 
@@ -99,6 +101,12 @@ class GraphDirectory:
         :class:`repro.server.replicas.ReplicaSet` — N engines (sharded or
         monolithic per the ``sharded`` flag) behind least-loaded routing —
         so one hot graph scales horizontally without the caller noticing.
+        ``health_policy`` (a :class:`repro.server.resilience.HealthPolicy`)
+        and ``fault_plan`` (a :class:`repro.server.faults.FaultPlan`) are
+        forwarded to the replica set; for single-engine hosting only
+        ``fault_plan`` applies (monolithic engines hook the
+        ``"engine.search"`` fault site, and there is no replica health to
+        police).
         """
         if not name or not isinstance(name, str):
             raise ValueError("a served graph needs a non-empty string name")
@@ -129,6 +137,8 @@ class GraphDirectory:
                 sharded=use_sharded,
                 result_cache_size=cache_size,
                 result_cache_policy=cache_policy,
+                health_policy=health_policy,  # type: ignore[arg-type]
+                fault_plan=fault_plan,
             )
         elif use_sharded:
             engine = ShardedBCCEngine(
@@ -143,6 +153,7 @@ class GraphDirectory:
                 engine_config,
                 result_cache_size=cache_size,
                 result_cache_policy=cache_policy,
+                fault_plan=fault_plan,
             )
         with self._lock:
             self._engines[name] = engine
@@ -267,6 +278,23 @@ class GraphDirectory:
                 snapshot = engine.stats(name=name)
             snapshots[name] = snapshot
         return snapshots
+
+    def readiness(self) -> Dict[str, Dict[str, object]]:
+        """Per-graph serving readiness, keyed by served name.
+
+        Engines that track replica health (:class:`ReplicaSet`) report
+        their own :meth:`health_summary` (``ok`` / ``degraded`` / ``down``
+        plus per-replica states); engines without health tracking are
+        ready by construction and report ``{"state": "ok"}``.  This is the
+        substance behind the gateway's ``/healthz``.
+        """
+        with self._lock:
+            engines = dict(self._engines)
+        readiness: Dict[str, Dict[str, object]] = {}
+        for name, engine in engines.items():
+            summary = getattr(engine, "health_summary", None)
+            readiness[name] = summary() if callable(summary) else {"state": "ok"}
+        return readiness
 
     def uptime_seconds(self) -> float:
         """Seconds since this directory was constructed."""

@@ -205,6 +205,9 @@ class ServingStats:
     latency: Dict[str, object]
     shards: Tuple[Dict[str, object], ...] = ()
     replicas: Tuple[Dict[str, object], ...] = ()
+    #: Replica-set health summary (``state``/``available``/``states``);
+    #: ``None`` for engines without health tracking.
+    health: Optional[Dict[str, object]] = None
 
     @classmethod
     def from_engine(
@@ -257,6 +260,8 @@ class ServingStats:
             payload["shards"] = [dict(block) for block in self.shards]
         if self.kind == "replicated":
             payload["replicas"] = [dict(block) for block in self.replicas]
+        if self.health is not None:
+            payload["health"] = dict(self.health)
         return payload
 
     def to_json(self, indent: Optional[int] = None) -> str:

@@ -97,3 +97,26 @@ class TestValidation:
         )
         assert config.b == 0 and config.max_iterations == 0
         assert config.size_budget == 0 and config.eta == 0
+
+
+class TestDeadlineField:
+    def test_deadline_defaults_to_none(self):
+        assert SearchConfig().deadline_ms is None
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.5])
+    def test_non_positive_deadlines_rejected(self, bad):
+        with pytest.raises(QueryError):
+            SearchConfig(deadline_ms=bad)
+
+    def test_positive_deadline_accepted(self):
+        assert SearchConfig(deadline_ms=250.0).deadline_ms == 250.0
+
+    def test_deadline_excluded_from_cache_key(self):
+        # The deadline bounds the wait, not the answer: two configs that
+        # differ only in deadline_ms must share a result-cache entry.
+        base = SearchConfig(k1=4, k2=3)
+        assert base.cache_key() == SearchConfig(
+            k1=4, k2=3, deadline_ms=100.0
+        ).cache_key()
+        # ...while answer-shaping fields still split the key.
+        assert base.cache_key() != SearchConfig(k1=5, k2=3).cache_key()

@@ -320,3 +320,32 @@ class TestReasonHttpMapping:
         response = make_response(STATUS_EMPTY, reason=REASON_CROSS_SHARD)
         payload = encode_response(response)
         assert strict_loads(json.dumps(payload)) == payload
+
+
+class TestFaultToleranceWireFields:
+    def test_deadline_ms_round_trips_in_configs(self):
+        config = SearchConfig(k1=4, k2=3, deadline_ms=250.0)
+        restored = decode_config(json_loads(json_dumps(encode_config(config))))
+        assert restored == config
+        assert restored.deadline_ms == 250.0
+
+    def test_degraded_flag_round_trips(self):
+        response = SearchResponse(
+            method="lp-bcc",
+            query=("a", "b"),
+            status=STATUS_OK,
+            vertices={"a", "b"},
+            degraded=True,
+        )
+        restored = decode_response(json_loads(json_dumps(encode_response(response))))
+        assert restored.degraded is True
+
+    def test_degraded_default_keeps_payloads_byte_identical(self):
+        # Back-compat: a non-degraded response encodes without the field,
+        # and decoding an old payload (no "degraded" key) restores False.
+        response = SearchResponse(
+            method="lp-bcc", query=("a", "b"), status=STATUS_OK, vertices={"a"}
+        )
+        payload = encode_response(response)
+        assert "degraded" not in payload
+        assert decode_response(payload).degraded is False
