@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""Persistent index store: instant restarts and bounded-memory shard spill.
+
+The serving quickstart one operational level up: the process owns a
+snapshot store on disk, so restarting it costs an mmap attach instead of a
+CSR freeze + core decomposition + butterfly-index build.  The script
+
+1. hosts a Baidu-like graph in a :class:`repro.serving.GraphDirectory`
+   backed by a :class:`repro.store.SnapshotStore` — the first ``add``
+   builds the engine and persists a ``graph.bccsnap`` snapshot;
+2. simulates a restart: a *second* directory over the same store root
+   attaches the snapshot (zero CSR freezes, zero core decompositions) and
+   answers the same queries identically;
+3. tampers with one byte of the snapshot and restarts again: the checksum
+   rejects the file, the directory quietly rebuilds and re-persists;
+4. hosts a four-region sharded network under a two-shard memory budget:
+   cold shards are evicted LRU and paged back from their per-shard
+   snapshots on the next routed query — every answer stays exact.
+
+Run with:  python examples/persistent_store.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro import GraphDirectory, Query
+from repro.datasets import generate_baidu_network, load_dataset
+from repro.graph.labeled_graph import LabeledGraph
+from repro.store import SnapshotStore
+
+REGIONS = ("berlin", "osaka", "toronto", "warsaw")
+
+
+def build_regional_network() -> LabeledGraph:
+    """Four disconnected regional networks in one labeled graph."""
+    graph = LabeledGraph()
+    for index, region in enumerate(REGIONS):
+        regional = generate_baidu_network("tiny", seed=20 + index).graph
+        for vertex in regional.vertices():
+            graph.add_vertex(f"{region}/{vertex}", label=regional.label(vertex))
+        for u, v in regional.edges():
+            graph.add_edge(f"{region}/{u}", f"{region}/{v}")
+    return graph
+
+
+def regional_query(region: str) -> Query:
+    bundle = generate_baidu_network("tiny", seed=20 + REGIONS.index(region))
+    q_left, q_right = bundle.default_query()
+    return Query("lp-bcc", (f"{region}/{q_left}", f"{region}/{q_right}"))
+
+
+def main() -> None:
+    root = Path(tempfile.mkdtemp(prefix="bcc-store-"))
+    bundle = load_dataset("baidu-tiny", seed=7)
+    query = Query("l2p-bcc", bundle.default_query())
+
+    # --- 1. first boot: build and persist -----------------------------
+    started = time.perf_counter()
+    directory = GraphDirectory(store=root, sharded=False)
+    engine = directory.add("baidu", bundle)
+    first_answer = engine.search(query)
+    build_ms = (time.perf_counter() - started) * 1000
+    assert directory.store_summary()["modes"] == {"baidu": "built"}
+    print(
+        f"First boot: built + persisted in {build_ms:.1f}ms "
+        f"({engine.counters_snapshot()['csr_freezes']} freeze, "
+        f"{engine.counters_snapshot()['index_builds']} index build) -> {root}"
+    )
+
+    # --- 2. restart: attach, don't rebuild ----------------------------
+    started = time.perf_counter()
+    restarted = GraphDirectory(store=root, sharded=False)
+    attached = restarted.add("baidu", load_dataset("baidu-tiny", seed=7))
+    second_answer = attached.search(query)
+    attach_ms = (time.perf_counter() - started) * 1000
+    counters = attached.counters_snapshot()
+    assert counters["csr_freezes"] == 0, "attach must not freeze"
+    assert restarted.store_summary()["modes"] == {"baidu": "attached"}
+    assert second_answer.status == first_answer.status
+    assert sorted(map(str, second_answer.community or ())) == sorted(
+        map(str, first_answer.community or ())
+    )
+    print(
+        f"Restart: attached in {attach_ms:.1f}ms with zero CSR freezes; "
+        "answers are identical."
+    )
+
+    # --- 3. corruption heals itself ------------------------------------
+    store = SnapshotStore(root)
+    snapshot_path = store.graph_path("baidu")
+    blob = bytearray(snapshot_path.read_bytes())
+    blob[len(blob) // 2] ^= 0xFF
+    snapshot_path.write_bytes(bytes(blob))
+    healed = GraphDirectory(store=store, sharded=False)
+    rebuilt = healed.add("baidu", load_dataset("baidu-tiny", seed=7))
+    assert rebuilt.counters_snapshot()["csr_freezes"] == 1
+    assert store.counters_snapshot()["invalid"] == 1
+    print(
+        "Corrupted snapshot: checksum rejected the file, the directory "
+        "rebuilt and re-persisted it."
+    )
+
+    # --- 4. bounded memory: 4 shards, budget 2 --------------------------
+    sharded_dir = GraphDirectory(store=root)
+    regional = sharded_dir.add(
+        "enterprise", build_regional_network(), max_resident_shards=2
+    )
+    queries = [regional_query(region) for region in REGIONS]
+    for _ in range(2):  # second pass pages evicted shards back from disk
+        for q in queries:
+            response = regional.search(q)
+            assert response.status == "ok", response
+        assert len(regional.shards_built()) <= 2
+    block = regional.stats(name="enterprise").store
+    assert block["evictions"] >= 2 and block["attaches"] >= 2
+    print(
+        f"Sharded: {regional.shard_count()} regions served under a "
+        f"2-shard budget — resident {block['resident_shards']}, "
+        f"{block['evictions']} evictions, {block['attaches']} page-backs "
+        "from disk, all answers exact."
+    )
+
+    print("\nStore state as the gateway reports it (/healthz -> store):")
+    import json
+
+    print(json.dumps(sharded_dir.store_summary(), indent=2, sort_keys=True))
+
+
+if __name__ == "__main__":
+    main()

@@ -62,8 +62,13 @@ from repro.server import (
     GatewayClient,
     ReplicaSet,
 )
+from repro.store import (
+    Snapshot,
+    SnapshotStore,
+    SnapshotWriter,
+)
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "BCCEngine",
@@ -75,6 +80,9 @@ __all__ = [
     "ReplicaSet",
     "ServingStats",
     "ShardedBCCEngine",
+    "Snapshot",
+    "SnapshotStore",
+    "SnapshotWriter",
     "Query",
     "SearchConfig",
     "SearchResponse",

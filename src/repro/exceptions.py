@@ -196,6 +196,28 @@ class AllReplicasEjectedError(ReproError):
         self.replicas = replicas
 
 
+class StoreError(ReproError):
+    """A persisted index snapshot cannot be written, read or trusted.
+
+    Raised by :mod:`repro.store` for structural problems — bad magic,
+    format-version skew, truncated files, checksum mismatches, vertices
+    that cannot round-trip through the header — always with a message
+    naming the file and what failed, so an operator can tell a stale
+    snapshot from a corrupted one.
+    """
+
+
+class SnapshotMismatchError(StoreError):
+    """A structurally valid snapshot does not describe the given graph.
+
+    The snapshot's graph fingerprint (vertex/edge counts, graph version,
+    degree-sequence and label-histogram checksums) disagrees with the live
+    graph, so attaching it would serve answers for a different graph.
+    Callers that can rebuild (``SnapshotStore.attach_or_build``) catch this
+    and fall back to a fresh build + persist.
+    """
+
+
 class GraphNotFoundError(ReproError, KeyError):
     """Raised when a serving directory is asked for a graph it does not host."""
 

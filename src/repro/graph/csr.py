@@ -62,7 +62,7 @@ from __future__ import annotations
 from array import array
 from collections import Counter, deque
 from itertools import accumulate, chain
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.exceptions import VertexNotFoundError
 from repro.graph.bipartite import BipartiteView
@@ -182,30 +182,56 @@ class _FlatAdjacency:
     canonical compact ``array('l')`` / ``array('i')`` storage is
     materialized lazily through the :attr:`offsets` / :attr:`neighbors`
     properties, so freezes that only feed kernels never pay for it.
+
+    The constructor also accepts *ready-made* compact storage — an
+    :class:`array.array` or an int-typed :class:`memoryview` (e.g. a cast
+    slice of an ``mmap``) — in place of the plain lists.  That path copies
+    nothing: the given buffers become the canonical :attr:`offsets` /
+    :attr:`neighbors` storage directly, and the kernel-facing flat lists
+    are materialized lazily on the first :meth:`adjacency_lists` call, so
+    attaching a persisted snapshot costs O(1) until a kernel actually runs.
     """
 
     __slots__ = ("interner", "_offsets_arr", "_neighbors_arr", "_offs", "_nbrs", "_slices", "_deg")
 
-    def __init__(self, interner: VertexInterner, offsets: List[int], neighbors: List[int]) -> None:
+    def __init__(
+        self,
+        interner: VertexInterner,
+        offsets: Union[List[int], Sequence[int]],
+        neighbors: Union[List[int], Sequence[int]],
+    ) -> None:
         self.interner = interner
-        self._offs: List[int] = offsets
-        self._nbrs: List[int] = neighbors
-        self._offsets_arr: Optional[array] = None
-        self._neighbors_arr: Optional[array] = None
+        if isinstance(offsets, list):
+            self._offs: Optional[List[int]] = offsets
+            self._offsets_arr: Optional[Sequence[int]] = None
+        else:  # ready-made storage (array / memoryview): adopt, don't copy
+            self._offs = None
+            self._offsets_arr = offsets
+        if isinstance(neighbors, list):
+            self._nbrs: Optional[List[int]] = neighbors
+            self._neighbors_arr: Optional[Sequence[int]] = None
+        else:
+            self._nbrs = None
+            self._neighbors_arr = neighbors
         self._slices: Optional[List[List[int]]] = None
         self._deg: Optional[List[int]] = None
 
     @property
-    def offsets(self) -> array:
-        """``array('l')`` of length ``n + 1``; neighbours of id ``v`` live in
-        ``neighbors[offsets[v]:offsets[v + 1]]``."""
+    def offsets(self) -> Sequence[int]:
+        """Compact offset storage of length ``n + 1``; neighbours of id ``v``
+        live in ``neighbors[offsets[v]:offsets[v + 1]]``.
+
+        An ``array('l')`` on the freeze path (materialized lazily from the
+        flat list); whatever buffer the caller injected — e.g. an
+        ``mmap``-backed ``memoryview`` — on the attach path.
+        """
         if self._offsets_arr is None:
             self._offsets_arr = array("l", self._offs)
         return self._offsets_arr
 
     @property
-    def neighbors(self) -> array:
-        """``array('i')`` of neighbour ids, ``2 |E|`` entries."""
+    def neighbors(self) -> Sequence[int]:
+        """Compact neighbour-id storage, ``2 |E|`` entries (see :attr:`offsets`)."""
         if self._neighbors_arr is None:
             self._neighbors_arr = array("i", self._nbrs)
         return self._neighbors_arr
@@ -213,15 +239,18 @@ class _FlatAdjacency:
     # -- sizes ----------------------------------------------------------
     def num_vertices(self) -> int:
         """Return the number of frozen vertices."""
-        return len(self._offs) - 1
+        offs = self._offs if self._offs is not None else self._offsets_arr
+        return len(offs) - 1
 
     def num_edges(self) -> int:
         """Return the number of frozen undirected edges."""
-        return len(self._nbrs) // 2
+        nbrs = self._nbrs if self._nbrs is not None else self._neighbors_arr
+        return len(nbrs) // 2
 
     def degree(self, vid: int) -> int:
         """Return the frozen degree of id ``vid``."""
-        return self._offs[vid + 1] - self._offs[vid]
+        offs = self._offs if self._offs is not None else self._offsets_arr
+        return offs[vid + 1] - offs[vid]
 
     def degree_list(self) -> List[int]:
         """Return (and cache) the per-id degree list."""
@@ -245,7 +274,16 @@ class _FlatAdjacency:
 
     # -- kernel views ----------------------------------------------------
     def adjacency_lists(self) -> Tuple[List[int], List[int]]:
-        """Return ``(offsets, neighbors)`` as plain lists for kernels."""
+        """Return ``(offsets, neighbors)`` as plain lists for kernels.
+
+        On the attach path (compact storage injected at construction) the
+        lists are materialized here, once, the first time a kernel needs
+        them — a C-speed ``list()`` over the storage buffer.
+        """
+        if self._offs is None:
+            self._offs = list(self._offsets_arr)
+        if self._nbrs is None:
+            self._nbrs = list(self._neighbors_arr)
         return self._offs, self._nbrs
 
     def adjacency_slices(self) -> List[List[int]]:
@@ -278,9 +316,9 @@ class CSRGraph(_FlatAdjacency):
     def __init__(
         self,
         interner: VertexInterner,
-        offsets: List[int],
-        neighbors: List[int],
-        labels: array,
+        offsets: Union[List[int], Sequence[int]],
+        neighbors: Union[List[int], Sequence[int]],
+        labels: Sequence[int],
     ) -> None:
         super().__init__(interner, offsets, neighbors)
         self.labels = labels

@@ -675,6 +675,10 @@ class Gateway:
             "rejections": counters["rejections"],
             "degraded_answers": counters["degraded"],
             "deadline_exceeded": counters["deadline_exceeded"],
+            # Persistent-store state (root, snapshots on disk, attach /
+            # persist / mismatch counters, per-graph attach modes);
+            # ``None`` when the directory serves without a store.
+            "store": self.directory.store_summary(),
         }
 
     def start(self) -> "Gateway":

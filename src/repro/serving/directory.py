@@ -18,6 +18,7 @@ process's "stats endpoint".
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 import time
 from typing import Dict, Iterable, List, Optional, Union
@@ -53,6 +54,18 @@ class GraphDirectory:
         (overridable per graph).
     result_cache_size, result_cache_policy:
         Defaults forwarded to every engine's result cache.
+    store:
+        A :class:`repro.store.SnapshotStore` (or a root path for one).
+        When set, :meth:`add` / :meth:`load` attach to persisted snapshots
+        instead of rebuilding whenever the on-disk checksum and graph
+        fingerprint match the live graph (rebuilding *and persisting* on
+        any miss), sharded engines spill/page per-shard snapshots through
+        it, and the store's attach/persist/mismatch counters ride the
+        stats payload.  Replicated hosting (``replicas > 1``) ignores the
+        store: N replica engines deliberately build N private states.
+    max_resident_shards:
+        Default per-graph memory budget for sharded engines (LRU shard
+        eviction; ``None`` = unbounded).  Overridable per :meth:`add`.
 
     All directory operations are thread-safe; the engines themselves are
     thread-safe by construction, so one directory can serve a whole
@@ -65,14 +78,25 @@ class GraphDirectory:
         sharded: bool = True,
         result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE,
         result_cache_policy: Optional[object] = None,
+        store: Optional[object] = None,
+        max_resident_shards: Optional[int] = None,
     ) -> None:
         self._config = config
         self._sharded_default = sharded
         self._result_cache_size = result_cache_size
         self._result_cache_policy = result_cache_policy
+        if store is not None and not hasattr(store, "attach_or_build"):
+            # A root path was given; stand up a store over it.  Imported
+            # lazily so `repro.serving` stays importable on its own.
+            from repro.store import SnapshotStore
+
+            store = SnapshotStore(store)
+        self._store = store
+        self._max_resident_shards = max_resident_shards
         self._lock = threading.Lock()
         self._engines: Dict[str, ServingEngine] = {}
         self._latency: Dict[str, LatencyHistogram] = {}
+        self._store_modes: Dict[str, str] = {}
         self._started_monotonic = time.monotonic()
 
     # ------------------------------------------------------------------
@@ -90,12 +114,20 @@ class GraphDirectory:
         result_cache_policy: Optional[object] = None,
         health_policy: Optional[object] = None,
         fault_plan: Optional[object] = None,
+        max_resident_shards: Optional[int] = None,
     ) -> ServingEngine:
         """Host ``graph`` (or a bundle) under ``name`` and return its engine.
 
         Re-adding an existing name replaces its engine — the directory is
         the single owner of the name, so a live process can swap a graph
         for a rebuilt one atomically.
+
+        With a directory ``store=``, monolithic hosting goes through
+        :meth:`SnapshotStore.attach_or_build` (a matching snapshot means
+        no freeze and no index build at all) and sharded hosting passes
+        the store down so shards spill/page under ``max_resident_shards``
+        (falling back to the directory-wide default budget when not given
+        here).
 
         ``replicas > 1`` hosts the graph as a
         :class:`repro.server.replicas.ReplicaSet` — N engines (sharded or
@@ -124,7 +156,13 @@ class GraphDirectory:
             if result_cache_policy is None
             else result_cache_policy
         )
+        shard_budget = (
+            self._max_resident_shards
+            if max_resident_shards is None
+            else max_resident_shards
+        )
         engine: ServingEngine
+        store_mode: Optional[str] = None
         if replicas > 1:
             # Imported lazily: repro.server builds on repro.serving, so a
             # module-level import here would be circular.
@@ -146,6 +184,23 @@ class GraphDirectory:
                 engine_config,
                 result_cache_size=cache_size,
                 result_cache_policy=cache_policy,
+                store=self._store,
+                store_key=name,
+                max_resident_shards=shard_budget,
+            )
+            if self._store is not None:
+                store_mode = "sharded"
+        elif self._store is not None:
+            plain = graph if isinstance(graph, LabeledGraph) else getattr(
+                graph, "graph", graph
+            )
+            engine, store_mode = self._store.attach_or_build(
+                name,
+                plain,
+                engine_config,
+                result_cache_size=cache_size,
+                result_cache_policy=cache_policy,
+                fault_plan=fault_plan,
             )
         else:
             engine = BCCEngine(
@@ -158,6 +213,10 @@ class GraphDirectory:
         with self._lock:
             self._engines[name] = engine
             self._latency[name] = LatencyHistogram()
+            if store_mode is not None:
+                self._store_modes[name] = store_mode
+            else:
+                self._store_modes.pop(name, None)
         return engine
 
     def load(
@@ -202,6 +261,7 @@ class GraphDirectory:
                 raise GraphNotFoundError(name, known=self._engines)
             del self._engines[name]
             del self._latency[name]
+            self._store_modes.pop(name, None)
 
     def names(self) -> List[str]:
         """The graphs currently served, sorted."""
@@ -266,12 +326,21 @@ class GraphDirectory:
         with self._lock:
             engines = dict(self._engines)
             histograms = dict(self._latency)
+            store_modes = dict(self._store_modes)
         snapshots: Dict[str, ServingStats] = {}
         for name, engine in engines.items():
             if isinstance(engine, BCCEngine):
                 snapshot = ServingStats.from_engine(
                     engine, name=name, latency=histograms.get(name)
                 )
+                mode = store_modes.get(name)
+                if mode is not None:
+                    # "attached" = served from a snapshot (no freeze, no
+                    # index build); "built" = snapshot miss, rebuilt and
+                    # persisted for the next process.
+                    snapshot = dataclasses.replace(
+                        snapshot, store={"mode": mode}
+                    )
             else:
                 # Sharded engines and replica sets build their own
                 # aggregated snapshot (per-shard / per-replica blocks).
@@ -300,6 +369,21 @@ class GraphDirectory:
         """Seconds since this directory was constructed."""
         return time.monotonic() - self._started_monotonic
 
+    def store_summary(self) -> Optional[Dict[str, object]]:
+        """The persistent-store block for stats/health payloads.
+
+        ``None`` when the directory serves without a store; otherwise the
+        store root, the snapshot names on disk, the store counters
+        (attaches / builds / persists / mismatches / invalid) and the
+        per-served-name attach mode.
+        """
+        if self._store is None:
+            return None
+        summary = self._store.summary()
+        with self._lock:
+            summary["modes"] = dict(self._store_modes)
+        return summary
+
     def stats_payload(self) -> Dict[str, object]:
         """The whole directory as one JSON-serializable stats document.
 
@@ -317,6 +401,7 @@ class GraphDirectory:
                 for name, snapshot in self.stats().items()
             },
             "served_graphs": len(self),
+            "store": self.store_summary(),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

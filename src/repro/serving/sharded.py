@@ -32,12 +32,28 @@ Mutating the graph between serving calls triggers exactly one re-partition
 (double-checked under a lock, counted in ``"partitions"``), discarding
 every shard engine; mutating *during* an in-flight search remains undefined,
 exactly as for :class:`BCCEngine`.
+
+Bounded-memory serving (the persistent-store wiring)
+----------------------------------------------------
+
+With a :class:`repro.store.SnapshotStore` attached (``store=``), shard
+engines page in from per-shard snapshot files instead of re-freezing and
+re-indexing (``shard_attaches``), persist themselves on first build so the
+next process — or the next page-in — attaches (``shard_persists``), and a
+``max_resident_shards`` budget turns the shard table into an LRU: when a
+page-in would exceed the budget the coldest resident engine is dropped
+(``shard_evictions``) and simply re-attached from disk the next time a
+query routes to it.  Eviction also works without a store — paging back
+then costs a full rebuild — so the budget is a hard memory bound either
+way.  In-flight queries keep serving from an evicted engine object until
+they finish; eviction only removes it from the resident table.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Set, Union
 
 from repro.api.config import SearchConfig
@@ -86,6 +102,16 @@ class ShardedBCCEngine:
         Forwarded to each shard engine's LRU result cache; the admission
         policy object is shared across shards (policies are stateless or
         internally locked).
+    store, store_key:
+        A :class:`repro.store.SnapshotStore` (or a root path for one) to
+        page shard engines from and persist them to; ``store_key`` is the
+        served-graph name the per-shard snapshot files live under
+        (defaults to ``"sharded"``; :class:`repro.serving.GraphDirectory`
+        passes the directory name).
+    max_resident_shards:
+        Memory budget: at most this many shard engines stay resident at
+        once (LRU; ``None`` = unbounded, the pre-store behavior).  Must be
+        >= 1 — a zero budget could never serve any query.
 
     The partition (connected components + the vertex→shard routing table)
     is computed eagerly at construction — routing must work before any
@@ -99,15 +125,28 @@ class ShardedBCCEngine:
         config: Optional[SearchConfig] = None,
         result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE,
         result_cache_policy: Optional[object] = None,
+        store: Optional[object] = None,
+        store_key: str = "sharded",
+        max_resident_shards: Optional[int] = None,
     ) -> None:
         if not isinstance(graph, LabeledGraph):
             graph = getattr(graph, "graph", graph)
         if not isinstance(graph, LabeledGraph):
             raise TypeError(f"expected a LabeledGraph or bundle, got {type(graph)!r}")
+        if max_resident_shards is not None and max_resident_shards < 1:
+            raise ValueError("max_resident_shards must be >= 1 (or None)")
         self.graph: LabeledGraph = graph
         self.config: SearchConfig = config if config is not None else SearchConfig()
         self._result_cache_size = result_cache_size
         self._result_cache_policy = result_cache_policy
+        if store is not None and not hasattr(store, "try_attach_shard"):
+            # A root path was given; stand up a store over it.
+            from repro.store import SnapshotStore
+
+            store = SnapshotStore(store)
+        self._store = store
+        self._store_key = store_key
+        self._max_resident_shards = max_resident_shards
         # Lock order (outermost first): partition -> shards; the counters
         # lock is a leaf, never held while acquiring another lock.  The
         # latency histogram carries its own internal lock.
@@ -119,11 +158,16 @@ class ShardedBCCEngine:
             "searches": 0,
             "cross_shard_queries": 0,
             "shard_engines_built": 0,
+            "shard_attaches": 0,
+            "shard_persists": 0,
+            "shard_evictions": 0,
         }
         self._latency = LatencyHistogram()
         self._components: List[Set[Vertex]] = []
         self._routing: Dict[Vertex, int] = {}
-        self._shards: Dict[int, BCCEngine] = {}
+        # Insertion/access-ordered so the budget can evict least recently
+        # *used* (not least recently built): every hit re-ranks its shard.
+        self._shards: "OrderedDict[int, BCCEngine]" = OrderedDict()
         self._graph_version: int = -1
         self._partition()
 
@@ -149,7 +193,7 @@ class ShardedBCCEngine:
             with self._shards_lock:
                 self._components = components
                 self._routing = routing
-                self._shards = {}
+                self._shards = OrderedDict()
             self._graph_version = version
             self._count("partitions")
 
@@ -176,7 +220,12 @@ class ShardedBCCEngine:
         return shard_id
 
     def shards_built(self) -> List[int]:
-        """Shard ids whose engine exists (i.e. someone queried them)."""
+        """Shard ids whose engine is currently resident.
+
+        Without eviction this is exactly "shards someone queried"; under a
+        ``max_resident_shards`` budget, evicted shards drop out of this
+        list until a query pages them back in.
+        """
         self._check_version()
         with self._shards_lock:
             return sorted(self._shards)
@@ -186,33 +235,73 @@ class ShardedBCCEngine:
 
         The double-checked fill under the shards lock mirrors the
         monolithic engine's fill-once caches: concurrent queries to a cold
-        shard build its subgraph and engine exactly once, and the builder
-        prepares it (one counted CSR freeze of *that component only*)
-        before any query runs.
+        shard build its subgraph and engine exactly once.  With a store
+        attached the fill *attaches* to the shard's persisted snapshot when
+        one matches (no freeze, no peel) and persists the engine it built
+        on a miss, so the next page-in — or the next process — attaches;
+        either way the engine is prepared before any query runs.  When a
+        ``max_resident_shards`` budget is set, filling a shard beyond the
+        budget evicts the least recently used resident engine (in-flight
+        queries on it finish unharmed; the next routed query pages it back).
         """
         self._check_version()
         if not 0 <= shard_id < len(self._components):
             raise IndexError(f"no shard {shard_id}")
-        engine = self._shards.get(shard_id)
-        if engine is not None:
-            return engine
-        built = False
         with self._shards_lock:
             engine = self._shards.get(shard_id)
-            if engine is None:
+            if engine is not None:
+                self._shards.move_to_end(shard_id)
+                return engine
+        attached = built = persisted = False
+        evicted = 0
+        with self._shards_lock:
+            engine = self._shards.get(shard_id)
+            if engine is not None:
+                self._shards.move_to_end(shard_id)
+            else:
                 subgraph = self.graph.induced_subgraph(
                     self._components[shard_id]
                 )
-                engine = BCCEngine(
-                    subgraph,
-                    self.config,
-                    result_cache_size=self._result_cache_size,
-                    result_cache_policy=self._result_cache_policy,
-                ).prepare()
+                if self._store is not None:
+                    engine = self._store.try_attach_shard(
+                        self._store_key,
+                        shard_id,
+                        subgraph,
+                        self.config,
+                        result_cache_size=self._result_cache_size,
+                        result_cache_policy=self._result_cache_policy,
+                    )
+                    attached = engine is not None
+                if engine is None:
+                    engine = BCCEngine(
+                        subgraph,
+                        self.config,
+                        result_cache_size=self._result_cache_size,
+                        result_cache_policy=self._result_cache_policy,
+                    ).prepare()
+                    built = True
+                    if self._store is not None:
+                        # Persisting pays this shard's one index build now
+                        # so every later page-in (and every other process)
+                        # attaches instead of re-peeling.
+                        self._store.persist_shard(
+                            self._store_key, shard_id, engine
+                        )
+                        persisted = True
                 self._shards[shard_id] = engine
-                built = True
+                self._shards.move_to_end(shard_id)
+                if self._max_resident_shards is not None:
+                    while len(self._shards) > self._max_resident_shards:
+                        self._shards.popitem(last=False)
+                        evicted += 1
         if built:
             self._count("shard_engines_built")
+        if attached:
+            self._count("shard_attaches")
+        if persisted:
+            self._count("shard_persists")
+        if evicted:
+            self._count("shard_evictions", evicted)
         return engine
 
     # ------------------------------------------------------------------
@@ -433,7 +522,19 @@ class ShardedBCCEngine:
         counters = dict(engine_totals)
         # Router counters win the "searches" slot: they count every served
         # query including cross-shard short-circuits no shard ever saw.
-        counters.update(self.counters_snapshot())
+        router = self.counters_snapshot()
+        counters.update(router)
+        store_block: Optional[Dict[str, object]] = None
+        if self._store is not None or self._max_resident_shards is not None:
+            store_block = {
+                "enabled": self._store is not None,
+                "key": self._store_key if self._store is not None else None,
+                "max_resident_shards": self._max_resident_shards,
+                "resident_shards": sorted(shards),
+                "attaches": router["shard_attaches"],
+                "persists": router["shard_persists"],
+                "evictions": router["shard_evictions"],
+            }
         return ServingStats(
             name=name,
             kind="sharded",
@@ -447,6 +548,7 @@ class ShardedBCCEngine:
             cache=cache_totals,
             latency=self._latency.snapshot(),
             shards=tuple(blocks),
+            store=store_block,
         )
 
     def observe_latency(self, seconds: float) -> None:

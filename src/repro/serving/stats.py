@@ -208,6 +208,9 @@ class ServingStats:
     #: Replica-set health summary (``state``/``available``/``states``);
     #: ``None`` for engines without health tracking.
     health: Optional[Dict[str, object]] = None
+    #: Persistent-store block (attach mode, resident/evicted shard counts);
+    #: ``None`` for engines serving without a snapshot store.
+    store: Optional[Dict[str, object]] = None
 
     @classmethod
     def from_engine(
@@ -262,6 +265,8 @@ class ServingStats:
             payload["replicas"] = [dict(block) for block in self.replicas]
         if self.health is not None:
             payload["health"] = dict(self.health)
+        if self.store is not None:
+            payload["store"] = dict(self.store)
         return payload
 
     def to_json(self, indent: Optional[int] = None) -> str:

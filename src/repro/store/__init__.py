@@ -1,0 +1,38 @@
+"""Persistent index store: snapshot files, mmap attach, attach-or-build.
+
+The store turns cold starts from rebuild storms into millisecond
+attaches: a :class:`SnapshotWriter` persists everything a prepared
+:class:`~repro.api.BCCEngine` computes (CSR arrays, interner orders,
+coreness, BCindex butterfly tables) into one checksummed little-endian
+file, :class:`Snapshot` maps it back zero-copy through ``mmap``, and
+:class:`SnapshotStore` gives the serving layer (``GraphDirectory``,
+``ShardedBCCEngine``) the attach-or-build contract plus per-shard spill
+for bounded-memory serving.
+
+See the README's "Persistent store" section for the format layout and the
+``python -m repro.store`` CLI for build/inspect/verify tooling.
+"""
+
+from repro.store.format import FORMAT_VERSION, MAGIC, graph_fingerprint
+from repro.store.snapshot import (
+    Snapshot,
+    SnapshotWriter,
+    StoredBCIndex,
+    attach_engine,
+    persist_engine,
+)
+from repro.store.store import SNAPSHOT_SUFFIX, STORE_COUNTER_NAMES, SnapshotStore
+
+__all__ = [
+    "FORMAT_VERSION",
+    "MAGIC",
+    "SNAPSHOT_SUFFIX",
+    "STORE_COUNTER_NAMES",
+    "Snapshot",
+    "SnapshotStore",
+    "SnapshotWriter",
+    "StoredBCIndex",
+    "attach_engine",
+    "graph_fingerprint",
+    "persist_engine",
+]

@@ -1,0 +1,203 @@
+"""The snapshot store: a directory of named graph (and shard) snapshots.
+
+:class:`SnapshotStore` gives the serving layer its attach-or-build
+contract: look for a persisted snapshot under the store root, attach to
+it when it is structurally valid *and* fingerprints the live graph
+(milliseconds), otherwise fall back to the normal prepare + index build
+and persist the result so the next process attaches.  Stale and corrupted
+snapshots are never trusted — a failed attach is counted, logged in the
+store's counters, and silently repaired by the rebuild path.
+
+Layout under the root::
+
+    <root>/<name>/graph.bccsnap        # monolithic engine snapshot
+    <root>/<name>/shard-00003.bccsnap  # one per shard of a sharded engine
+
+Thread safety: counters are guarded by a leaf lock (counted outside any
+other lock, matching the serving layer's lock discipline); file writes
+are atomic via the writer's tmp + rename, so concurrent builders of the
+same snapshot race benignly (last writer wins, both files are whole).
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.api.config import SearchConfig
+from repro.api.engine import BCCEngine
+from repro.exceptions import StoreError
+from repro.graph.labeled_graph import LabeledGraph
+from repro.store.snapshot import Snapshot, attach_engine, persist_engine
+
+PathLike = Union[str, Path]
+
+#: Served-graph names become directory names; keep them portable.
+_SAFE_NAME = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+#: File extension of every snapshot the store manages.
+SNAPSHOT_SUFFIX = ".bccsnap"
+
+#: Counter names a store exposes (fixed tuple so stats payloads are stable).
+STORE_COUNTER_NAMES = (
+    "attaches",
+    "builds",
+    "persists",
+    "mismatches",
+    "invalid",
+)
+
+
+def _safe_name(name: str) -> str:
+    if not _SAFE_NAME.match(name):
+        raise StoreError(
+            f"served-graph name {name!r} is not usable as a store directory "
+            f"(allowed: letters, digits, '.', '_', '-')"
+        )
+    return name
+
+
+class SnapshotStore:
+    """A directory of persisted engine snapshots, keyed by served name.
+
+    Parameters
+    ----------
+    root:
+        Directory to keep snapshots under (created on first use).
+    butterfly_pairs:
+        Forwarded to :class:`~repro.store.SnapshotWriter` when the store
+        persists — ``"all"`` by default, so attached engines never compute
+        a butterfly table.
+    """
+
+    def __init__(self, root: PathLike, *, butterfly_pairs: str = "all") -> None:
+        self.root = Path(root)
+        self.butterfly_pairs = butterfly_pairs
+        self._counters: Dict[str, int] = {name: 0 for name in STORE_COUNTER_NAMES}
+        self._counters_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # paths
+    # ------------------------------------------------------------------
+    def graph_path(self, name: str) -> Path:
+        """Where the monolithic snapshot of served graph ``name`` lives."""
+        return self.root / _safe_name(name) / f"graph{SNAPSHOT_SUFFIX}"
+
+    def shard_path(self, name: str, shard_id: int) -> Path:
+        """Where shard ``shard_id`` of served graph ``name`` lives."""
+        return self.root / _safe_name(name) / f"shard-{shard_id:05d}{SNAPSHOT_SUFFIX}"
+
+    def has(self, name: str) -> bool:
+        """``True`` when any snapshot exists for ``name`` (graph or shards)."""
+        directory = self.root / _safe_name(name)
+        return directory.is_dir() and any(directory.glob(f"*{SNAPSHOT_SUFFIX}"))
+
+    def names(self) -> List[str]:
+        """Served names that have at least one snapshot on disk."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            entry.name
+            for entry in self.root.iterdir()
+            if entry.is_dir() and any(entry.glob(f"*{SNAPSHOT_SUFFIX}"))
+        )
+
+    # ------------------------------------------------------------------
+    # counters
+    # ------------------------------------------------------------------
+    def _count(self, counter: str, amount: int = 1) -> None:
+        with self._counters_lock:
+            self._counters[counter] += amount
+
+    def counters_snapshot(self) -> Dict[str, int]:
+        """A consistent copy of the store counters."""
+        with self._counters_lock:
+            return dict(self._counters)
+
+    def summary(self) -> Dict[str, object]:
+        """The JSON-friendly store block for ``/stats`` and ``/healthz``."""
+        return {
+            "root": str(self.root),
+            "snapshots": self.names(),
+            "counters": self.counters_snapshot(),
+        }
+
+    # ------------------------------------------------------------------
+    # attach / persist
+    # ------------------------------------------------------------------
+    def _try_attach(
+        self,
+        path: Path,
+        graph: LabeledGraph,
+        config: Optional[SearchConfig],
+        engine_kwargs: Dict[str, object],
+    ) -> Optional[BCCEngine]:
+        """Attach ``graph`` to the snapshot at ``path``, or ``None``.
+
+        Distinguishes the two failure classes in the counters: ``invalid``
+        (missing/corrupted/version-skewed file — :class:`StoreError` from
+        open) and ``mismatches`` (valid snapshot of a different graph).
+        Both fall back to ``None`` so callers rebuild; neither raises.
+        """
+        if not path.is_file():
+            return None
+        try:
+            snapshot = Snapshot(path)
+        except StoreError:
+            self._count("invalid")
+            return None
+        if not snapshot.matches(graph):
+            snapshot.close()
+            self._count("mismatches")
+            return None
+        engine = attach_engine(graph, snapshot, config, **engine_kwargs)
+        self._count("attaches")
+        return engine
+
+    def attach_or_build(
+        self,
+        name: str,
+        graph: LabeledGraph,
+        config: Optional[SearchConfig] = None,
+        **engine_kwargs,
+    ) -> Tuple[BCCEngine, str]:
+        """A ready engine for ``graph``, from disk when possible.
+
+        Returns ``(engine, mode)`` with ``mode`` one of ``"attached"``
+        (snapshot hit: no freeze, no peel) or ``"built"`` (miss: normal
+        prepare + index build, then persisted so the next attach hits).
+        """
+        path = self.graph_path(name)
+        engine = self._try_attach(path, graph, config, engine_kwargs)
+        if engine is not None:
+            return engine, "attached"
+        engine = BCCEngine(graph, config, **engine_kwargs).prepare()
+        self._count("builds")
+        persist_engine(engine, path, butterfly_pairs=self.butterfly_pairs)
+        self._count("persists")
+        return engine, "built"
+
+    def try_attach_shard(
+        self,
+        name: str,
+        shard_id: int,
+        graph: LabeledGraph,
+        config: Optional[SearchConfig] = None,
+        **engine_kwargs,
+    ) -> Optional[BCCEngine]:
+        """Attach a shard subgraph to its persisted snapshot, or ``None``."""
+        return self._try_attach(
+            self.shard_path(name, shard_id), graph, config, engine_kwargs
+        )
+
+    def persist_shard(self, name: str, shard_id: int, engine: BCCEngine) -> Path:
+        """Persist a built shard engine so the next page-in attaches."""
+        path = self.shard_path(name, shard_id)
+        persist_engine(engine, path, butterfly_pairs=self.butterfly_pairs)
+        self._count("persists")
+        return path
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SnapshotStore({str(self.root)!r})"

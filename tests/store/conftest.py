@@ -1,0 +1,51 @@
+"""Shared fixtures for the persistent-store tests."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import pytest
+
+from repro.graph.generators import paper_example_graph
+from repro.graph.labeled_graph import LabeledGraph
+
+
+def dense_two_label_component(prefix: str, labels=("SE", "UI")) -> LabeledGraph:
+    """One connected component dense enough for BCC answers to exist.
+
+    Two 3-cliques (one per label) plus a 2x2 cross biclique — the same
+    shape the serving tests use, so ``lp-bcc`` finds a community inside it.
+    """
+    graph = LabeledGraph()
+    lefts = [f"{prefix}:s{i}" for i in range(3)]
+    rights = [f"{prefix}:u{i}" for i in range(3)]
+    for vertex in lefts:
+        graph.add_vertex(vertex, label=labels[0])
+    for vertex in rights:
+        graph.add_vertex(vertex, label=labels[1])
+    for bucket in (lefts, rights):
+        for a in bucket:
+            for b in bucket:
+                if a < b:
+                    graph.add_edge(a, b)
+    for a in lefts[:2]:
+        for b in rights[:2]:
+            graph.add_edge(a, b)
+    return graph
+
+
+def multi_component_graph(parts: int) -> Tuple[LabeledGraph, List[Tuple[str, str]]]:
+    """``parts`` disjoint dense components + one in-component query per part."""
+    graph = LabeledGraph()
+    queries: List[Tuple[str, str]] = []
+    for index in range(parts):
+        prefix = f"c{index}"
+        graph.merge(dense_two_label_component(prefix))
+        queries.append((f"{prefix}:s0", f"{prefix}:u0"))
+    return graph, queries
+
+
+@pytest.fixture
+def paper_graph() -> LabeledGraph:
+    """The Figure 1 running-example graph (SE / UI / PM labels)."""
+    return paper_example_graph()

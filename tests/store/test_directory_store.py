@@ -1,0 +1,252 @@
+"""Store-backed serving: directory attach, shard spill, gateway state."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import BCCEngine, Query
+from repro.datasets import load_dataset
+from repro.serving import GraphDirectory, ShardedBCCEngine
+from repro.server import Gateway
+from repro.store import SnapshotStore
+
+from tests.store.conftest import multi_component_graph
+
+
+def _responses(engine, queries, method="lp-bcc"):
+    out = []
+    for pair in queries:
+        response = engine.search(Query(vertices=pair, method=method))
+        community = (
+            sorted(map(str, response.community)) if response.community else None
+        )
+        out.append((response.status, response.reason, community))
+    return out
+
+
+# ----------------------------------------------------------------------
+# directory attach-or-build
+# ----------------------------------------------------------------------
+class TestDirectoryStore:
+    def test_second_directory_attaches_without_freezing(self, tmp_path):
+        store_root = tmp_path / "store"
+        first = GraphDirectory(store=store_root, sharded=False)
+        built = first.add("baidu", load_dataset("baidu-tiny", seed=7))
+        assert built.counters_snapshot()["csr_freezes"] == 1
+        assert first.store_summary()["modes"] == {"baidu": "built"}
+
+        second = GraphDirectory(store=store_root, sharded=False)
+        attached = second.add("baidu", load_dataset("baidu-tiny", seed=7))
+        counters = attached.counters_snapshot()
+        assert counters["csr_freezes"] == 0
+        summary = second.store_summary()
+        assert summary["modes"] == {"baidu": "attached"}
+        assert summary["counters"]["attaches"] == 1
+        assert summary["counters"]["builds"] == 0
+
+    def test_attached_serving_parity_with_built(self, tmp_path):
+        store_root = tmp_path / "store"
+        bundle = load_dataset("baidu-tiny", seed=7)
+        reference = BCCEngine(bundle.graph).prepare()
+        labels = bundle.graph.label_map()
+        vertices = sorted(bundle.graph.vertices(), key=str)
+        queries = [
+            (a, b)
+            for a in vertices[:12]
+            for b in vertices[:12]
+            if str(a) < str(b) and labels[a] != labels[b]
+        ][:8]
+
+        first = GraphDirectory(store=store_root, sharded=False)
+        first.add("baidu", load_dataset("baidu-tiny", seed=7))
+        second = GraphDirectory(store=store_root, sharded=False)
+        attached = second.add("baidu", load_dataset("baidu-tiny", seed=7))
+
+        for method in ("lp-bcc", "l2p-bcc"):
+            assert _responses(attached, queries, method) == _responses(
+                reference, queries, method
+            )
+
+    def test_mismatch_falls_back_to_rebuild(self, tmp_path):
+        store_root = tmp_path / "store"
+        first = GraphDirectory(store=store_root, sharded=False)
+        first.add("baidu", load_dataset("baidu-tiny", seed=7))
+        # A different seed is a different graph: the stored snapshot must
+        # be rejected and silently repaired by a rebuild + persist.
+        second = GraphDirectory(store=store_root, sharded=False)
+        engine = second.add("baidu", load_dataset("baidu-tiny", seed=8))
+        assert engine.counters_snapshot()["csr_freezes"] == 1
+        summary = second.store_summary()
+        assert summary["modes"] == {"baidu": "built"}
+        assert summary["counters"]["mismatches"] == 1
+        # ... and the repaired snapshot now matches seed 8.
+        third = GraphDirectory(store=store_root, sharded=False)
+        attached = third.add("baidu", load_dataset("baidu-tiny", seed=8))
+        assert attached.counters_snapshot()["csr_freezes"] == 0
+
+    def test_corrupted_snapshot_counts_invalid_and_rebuilds(self, tmp_path):
+        store_root = tmp_path / "store"
+        store = SnapshotStore(store_root)
+        first = GraphDirectory(store=store, sharded=False)
+        first.add("baidu", load_dataset("baidu-tiny", seed=7))
+        path = store.graph_path("baidu")
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+        second = GraphDirectory(store=store, sharded=False)
+        engine = second.add("baidu", load_dataset("baidu-tiny", seed=7))
+        assert engine.counters_snapshot()["csr_freezes"] == 1
+        assert store.counters_snapshot()["invalid"] == 1
+
+    def test_store_block_in_stats_payload(self, tmp_path):
+        directory = GraphDirectory(store=tmp_path / "store", sharded=False)
+        directory.add("baidu", load_dataset("baidu-tiny", seed=7))
+        payload = directory.stats_payload()
+        assert payload["store"]["root"] == str(tmp_path / "store")
+        assert payload["graphs"]["baidu"]["store"] == {"mode": "built"}
+        # Without a store the block is explicitly None, not missing.
+        bare = GraphDirectory(sharded=False)
+        bare.add("baidu", load_dataset("baidu-tiny", seed=7))
+        assert bare.stats_payload()["store"] is None
+
+
+# ----------------------------------------------------------------------
+# bounded-memory shard serving (the PR 4 follow-up)
+# ----------------------------------------------------------------------
+class TestShardSpill:
+    def test_budget_of_two_serves_four_shards(self, tmp_path):
+        graph, queries = multi_component_graph(4)
+        reference = ShardedBCCEngine(graph)
+        expected = _responses(reference, queries)
+        assert any(status == "ok" for status, _, _ in expected)
+
+        graph2, _ = multi_component_graph(4)
+        directory = GraphDirectory(store=tmp_path / "store")
+        engine = directory.add("four", graph2, max_resident_shards=2)
+        assert engine.shard_count() == 4
+
+        # Two passes over all four shards: every query answers exactly as
+        # the unbounded engine, while at most 2 engines are ever resident.
+        for _ in range(2):
+            assert _responses(engine, queries) == expected
+            assert len(engine.shards_built()) <= 2
+
+        stats = engine.stats(name="four")
+        assert stats.store["enabled"] is True
+        assert stats.store["max_resident_shards"] == 2
+        assert len(stats.store["resident_shards"]) <= 2
+        assert stats.store["evictions"] >= 2
+        # The second pass pages evicted shards back from disk, not rebuilds.
+        assert stats.store["attaches"] >= 2
+        assert stats.counters["shard_engines_built"] == 4
+
+    def test_lru_keeps_hot_shard_resident(self, tmp_path):
+        graph, queries = multi_component_graph(3)
+        directory = GraphDirectory(store=tmp_path / "store")
+        engine = directory.add("three", graph, max_resident_shards=2)
+        hot = queries[0]
+        hot_shard = engine.shard_of(hot[0])
+        for cold in queries[1:]:
+            engine.search(Query(vertices=hot, method="lp-bcc"))
+            engine.search(Query(vertices=cold, method="lp-bcc"))
+        # The hot shard was re-used between every cold page-in, so LRU
+        # must never have evicted it.
+        assert hot_shard in engine.shards_built()
+
+    def test_eviction_without_store_rebuilds(self):
+        graph, queries = multi_component_graph(3)
+        engine = ShardedBCCEngine(graph, max_resident_shards=1)
+        expected = _responses(ShardedBCCEngine(graph), queries)
+        for _ in range(2):
+            assert _responses(engine, queries) == expected
+            assert len(engine.shards_built()) <= 1
+        counters = engine.counters_snapshot()
+        assert counters["shard_evictions"] >= 4
+        assert counters["shard_attaches"] == 0  # no store: page-back = rebuild
+        assert counters["shard_engines_built"] >= 5
+        stats = engine.stats()
+        assert stats.store["enabled"] is False
+        assert stats.store["max_resident_shards"] == 1
+
+    def test_budget_validation(self):
+        graph, _ = multi_component_graph(2)
+        with pytest.raises(ValueError, match="max_resident_shards"):
+            ShardedBCCEngine(graph, max_resident_shards=0)
+
+    def test_second_process_attaches_shards(self, tmp_path):
+        graph, queries = multi_component_graph(3)
+        directory = GraphDirectory(store=tmp_path / "store")
+        engine = directory.add("three", graph)
+        _responses(engine, queries)  # builds + persists all three shards
+        assert engine.counters_snapshot()["shard_persists"] == 3
+
+        graph2, _ = multi_component_graph(3)
+        restarted = GraphDirectory(store=tmp_path / "store")
+        engine2 = restarted.add("three", graph2)
+        assert _responses(engine2, queries) == _responses(engine, queries)
+        counters = engine2.counters_snapshot()
+        assert counters["shard_attaches"] == 3
+        assert counters["shard_engines_built"] == 0
+
+
+# ----------------------------------------------------------------------
+# gateway surfaces
+# ----------------------------------------------------------------------
+class TestGatewayStoreState:
+    def test_healthz_and_stats_carry_store_state(self, tmp_path):
+        directory = GraphDirectory(store=tmp_path / "store", sharded=False)
+        directory.add("baidu", load_dataset("baidu-tiny", seed=7))
+        gateway = Gateway(directory)
+        health = gateway.health_payload()
+        assert health["store"]["root"] == str(tmp_path / "store")
+        assert health["store"]["modes"] == {"baidu": "built"}
+        assert health["store"]["counters"]["persists"] == 1
+        payload = directory.stats_payload()
+        assert payload["graphs"]["baidu"]["store"] == {"mode": "built"}
+
+    def test_gateway_restart_attaches_over_http(self, tmp_path):
+        from repro.server import GatewayClient
+
+        store_root = tmp_path / "store"
+        queries = None
+        responses_before = None
+
+        first_dir = GraphDirectory(store=store_root, sharded=False)
+        first_dir.add("baidu", load_dataset("baidu-tiny", seed=7))
+        bundle = load_dataset("baidu-tiny", seed=7)
+        labels = bundle.graph.label_map()
+        vertices = sorted(bundle.graph.vertices(), key=str)
+        queries = [
+            (a, b)
+            for a in vertices[:10]
+            for b in vertices[:10]
+            if str(a) < str(b) and labels[a] != labels[b]
+        ][:5]
+        with Gateway(first_dir) as gateway:
+            client = GatewayClient(gateway.url)
+            responses_before = [
+                client.search("baidu", Query(vertices=pair, method="l2p-bcc"))
+                for pair in queries
+            ]
+
+        # "Restart": a fresh directory + gateway over the same store root.
+        second_dir = GraphDirectory(store=store_root, sharded=False)
+        engine = second_dir.add("baidu", load_dataset("baidu-tiny", seed=7))
+        assert engine.counters_snapshot()["csr_freezes"] == 0
+        with Gateway(second_dir) as gateway:
+            client = GatewayClient(gateway.url)
+            health = client.healthz()
+            assert health["store"]["modes"] == {"baidu": "attached"}
+            responses_after = [
+                client.search("baidu", Query(vertices=pair, method="l2p-bcc"))
+                for pair in queries
+            ]
+        for before, after in zip(responses_before, responses_after):
+            assert after.status == before.status
+            before_community = (
+                sorted(map(str, before.community)) if before.community else None
+            )
+            after_community = (
+                sorted(map(str, after.community)) if after.community else None
+            )
+            assert after_community == before_community
