@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""Static analysis tour: a lock bug, the finding, noqa, and the ratchet.
+
+The invariant linter (``python -m repro.analysis``) enforces statically
+what the concurrency/chaos suites only catch probabilistically at
+runtime.  This script walks the whole loop on a synthetic repo in a temp
+directory:
+
+1. writes an ``engine.py`` with the exact shape of the bug the linter
+   was born to catch — ``BCCEngine.__repr__`` reading the lock-guarded
+   ``_counters`` outside ``_counters_lock`` — and shows the BCC001
+   finding;
+2. silences that one line with ``# noqa: BCC001`` (the escape hatch for
+   a deliberate, justified exception) and shows the run going clean;
+3. grandfathers the *un*-silenced bug into a baseline file instead,
+   shows the run passing with the finding reported as baselined — then
+   adds a second violation and shows the ratchet failing the run again:
+   the baseline protects the past, never the future.
+
+Run with:  python examples/static_analysis.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+import textwrap
+from pathlib import Path
+
+from repro.analysis import (
+    discover_files,
+    load_baseline,
+    run_analysis,
+    save_baseline,
+)
+
+BUGGY_ENGINE = textwrap.dedent(
+    '''
+    import threading
+
+    class BCCEngine:
+        def __init__(self):
+            self._counters_lock = threading.Lock()
+            self._counters = {"searches": 0}
+
+        def bump(self):
+            with self._counters_lock:
+                self._counters["searches"] += 1
+
+        def __repr__(self):
+            return f"BCCEngine(searches={self._counters['searches']})"
+    '''
+)
+
+
+def lint(root: Path):
+    """Run the real pipeline over ``root``; return the report."""
+    return run_analysis(discover_files([root]), root=root)
+
+
+def lint_with_baseline(root: Path, baseline: Path):
+    return run_analysis(
+        discover_files([root]), root=root, baseline_path=baseline
+    )
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="bcc-analysis-") as tmp:
+        root = Path(tmp)
+        engine = root / "engine.py"
+
+        # ------------------------------------------------------------------
+        banner("1. The violation: a guarded counter read outside its lock")
+        engine.write_text(BUGGY_ENGINE, encoding="utf-8")
+        report = lint(root)
+        for finding in report.findings:
+            print("  " + finding.render())
+        assert [f.rule for f in report.findings] == ["BCC001"]
+        assert report.failed
+        print("  -> exit code 1: this is the bug the linter caught for real")
+        print("     in src/repro/api/engine.py before PR 8 fixed it.")
+
+        # ------------------------------------------------------------------
+        banner("2. The escape hatch: one justified '# noqa: BCC001' line")
+        silenced = BUGGY_ENGINE.replace(
+            "self._counters['searches']})\"",
+            "self._counters['searches']})\"  # noqa: BCC001",
+        )
+        assert "# noqa" in silenced
+        engine.write_text(silenced, encoding="utf-8")
+        report = lint(root)
+        print(f"  findings after noqa: {len(report.findings)}")
+        assert report.findings == []
+        print("  -> exit code 0: suppression is per-line and per-rule, and")
+        print("     the comment sits beside the code it excuses — greppable.")
+
+        # ------------------------------------------------------------------
+        banner("3. The ratchet: baseline the past, fail the future")
+        engine.write_text(BUGGY_ENGINE, encoding="utf-8")  # bug is back
+        baseline = root / "analysis-baseline.json"
+        save_baseline(baseline, lint(root).findings)
+        print(f"  baseline entries: {sum(load_baseline(baseline).values())}")
+
+        report = lint_with_baseline(root, baseline)
+        print(
+            f"  with baseline: {len(report.findings)} active, "
+            f"{len(report.baselined)} baselined -> run passes"
+        )
+        assert report.findings == [] and len(report.baselined) == 1
+
+        # A *new* violation is not covered — the ratchet only tightens.
+        replicas = root / "replicas.py"
+        replicas.write_text(
+            textwrap.dedent(
+                '''
+                class ReplicaSet:
+                    def peek(self):
+                        return self._searches
+                '''
+            ),
+            encoding="utf-8",
+        )
+        report = lint_with_baseline(root, baseline)
+        for finding in report.findings:
+            print("  NEW " + finding.render())
+        assert [f.rule for f in report.findings] == ["BCC001"]
+        assert report.failed
+        print("  -> exit code 1 again: the baseline grandfathers exactly the")
+        print("     findings it lists (line-insensitive, multiset), nothing")
+        print("     more.  Fix a baselined finding, regenerate with")
+        print("     --write-baseline, and it can never come back.")
+
+    print()
+    print("Tour complete: violation caught, noqa honored, ratchet held.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,119 @@
+"""Checker framework: the project view, the base class, the registry.
+
+A checker sees the whole :class:`Project` (every parsed file of the run),
+not one file at a time, because three of the five shipped rules are
+*cross-file contracts*: the wire codec must cover the dataclasses
+(BCC003), the parity suite must cover the method registry (BCC004), the
+snapshot reader must agree with the writer (BCC005).  Single-file rules
+simply iterate ``project.files``.
+
+Anchor files are matched by **basename** (``engine.py``, ``protocol.py``,
+``snapshot.py``…), so fixture tests reproduce any rule by dropping a
+same-named file in a temp directory — no import machinery, no packaging.
+A cross-file checker whose anchors are absent from the analyzed set skips
+quietly: running the linter over a subtree must not invent findings about
+files it was never shown.
+
+Adding a checker is three steps: subclass :class:`Checker` with a unique
+``rule``/``name``, implement :meth:`Checker.check`, decorate with
+:func:`register_checker`, and import the module from
+``repro.analysis.checkers`` so registration runs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Type
+
+from repro.analysis.findings import Finding
+from repro.analysis.source import SourceFile
+
+__all__ = [
+    "Checker",
+    "Project",
+    "all_checkers",
+    "register_checker",
+]
+
+
+class Project:
+    """Every parsed file of one analysis run, with anchor lookups."""
+
+    def __init__(self, files: Iterable[SourceFile]) -> None:
+        self.files: List[SourceFile] = sorted(files, key=lambda f: f.rel)
+
+    def parsed(self) -> Iterator[SourceFile]:
+        """Files with a usable AST (syntax errors are reported separately)."""
+        for source in self.files:
+            if source.tree is not None:
+                yield source
+
+    def by_basename(self, basename: str) -> List[SourceFile]:
+        """All parsed files named ``basename``, in deterministic order."""
+        return [f for f in self.parsed() if f.basename == basename]
+
+    def find_anchor(
+        self,
+        basename: str,
+        predicate: Optional[Callable[[ast.AST], bool]] = None,
+    ) -> Optional[SourceFile]:
+        """First parsed ``basename`` file whose AST satisfies ``predicate``.
+
+        Cross-file checkers use this to locate their ground-truth file
+        (e.g. the ``exceptions.py`` that actually defines
+        ``HTTP_STATUS_BY_REASON``) among same-named candidates.
+        """
+        for source in self.by_basename(basename):
+            if predicate is None or predicate(source.tree):
+                return source
+        return None
+
+
+class Checker:
+    """Base class: one rule id, one invariant, one :meth:`check` pass."""
+
+    #: Unique rule id, ``BCC`` + three digits (used by noqa and baseline).
+    rule: str = ""
+    #: Short kebab-case name for reports and docs.
+    name: str = ""
+    #: One-line statement of the invariant being enforced.
+    description: str = ""
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, source: SourceFile, node: ast.AST, message: str
+    ) -> Finding:
+        """A finding anchored at ``node``'s location in ``source``."""
+        return Finding(
+            file=source.rel,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.rule,
+            message=message,
+        )
+
+
+_REGISTRY: Dict[str, Type[Checker]] = {}
+
+
+def register_checker(cls: Type[Checker]) -> Type[Checker]:
+    """Class decorator adding a checker to the global registry."""
+    if not cls.rule:
+        raise ValueError(f"checker {cls.__name__} declares no rule id")
+    existing = _REGISTRY.get(cls.rule)
+    if existing is not None and existing is not cls:
+        raise ValueError(
+            f"rule {cls.rule} registered twice "
+            f"({existing.__name__} and {cls.__name__})"
+        )
+    _REGISTRY[cls.rule] = cls
+    return cls
+
+
+def all_checkers() -> List[Checker]:
+    """Fresh instances of every registered checker, ordered by rule id."""
+    import repro.analysis.checkers  # noqa: F401  (registration side effect)
+
+    return [_REGISTRY[rule]() for rule in sorted(_REGISTRY)]

@@ -1,0 +1,99 @@
+"""The baseline ratchet: known findings that don't fail CI — yet.
+
+The baseline is a committed JSON file listing findings by their
+line-insensitive identity (``file``, ``rule``, ``message``).  At run time
+each reported finding consumes at most one matching baseline entry:
+
+* findings with a match are **baselined** — reported separately, exit 0;
+* findings without a match are **active** — they fail the run;
+* matching is a *multiset*: two identical violations in one file need two
+  baseline entries, so introducing a second copy of a grandfathered bug
+  still fails CI.
+
+The ratchet only tightens: fixing a baselined finding and deleting its
+entry (or regenerating with ``--write-baseline``) makes the fix permanent —
+the finding can never silently return.  This repo ships an **empty**
+baseline for ``src/`` on purpose (see ISSUE 8): real races were fixed,
+not grandfathered.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+from repro.analysis.findings import Finding
+
+__all__ = ["BaselineError", "load_baseline", "save_baseline", "split_findings"]
+
+_VERSION = 1
+
+Identity = Tuple[str, str, str]
+
+
+class BaselineError(ValueError):
+    """Raised when a baseline file is missing, malformed, or unversioned."""
+
+
+def load_baseline(path: Path) -> "Counter[Identity]":
+    """Read a baseline file into a multiset of finding identities."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise BaselineError(f"baseline file not found: {path}")
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"baseline file {path} is not valid JSON: {exc}")
+    if not isinstance(payload, dict) or payload.get("version") != _VERSION:
+        raise BaselineError(
+            f"baseline file {path} must be an object with 'version': {_VERSION}"
+        )
+    entries = payload.get("findings", [])
+    if not isinstance(entries, list):
+        raise BaselineError(f"baseline file {path}: 'findings' must be a list")
+    identities: "Counter[Identity]" = Counter()
+    for index, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise BaselineError(f"baseline entry #{index} is not an object")
+        try:
+            identity = (
+                str(entry["file"]),
+                str(entry["rule"]),
+                str(entry["message"]),
+            )
+        except KeyError as exc:
+            raise BaselineError(
+                f"baseline entry #{index} is missing key {exc.args[0]!r}"
+            )
+        identities[identity] += 1
+    return identities
+
+
+def save_baseline(path: Path, findings: Iterable[Finding]) -> None:
+    """Write the current findings as the new baseline (sorted, stable)."""
+    entries = [
+        {"file": f.file, "rule": f.rule, "message": f.message}
+        for f in sorted(findings, key=Finding.sort_key)
+    ]
+    payload = {"version": _VERSION, "findings": entries}
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def split_findings(
+    findings: Iterable[Finding], baseline: "Counter[Identity]"
+) -> Tuple[List[Finding], List[Finding]]:
+    """Partition into (active, baselined), consuming baseline multiset slots."""
+    remaining = Counter(baseline)
+    active: List[Finding] = []
+    baselined: List[Finding] = []
+    for finding in sorted(findings, key=Finding.sort_key):
+        identity = finding.identity()
+        if remaining[identity] > 0:
+            remaining[identity] -= 1
+            baselined.append(finding)
+        else:
+            active.append(finding)
+    return active, baselined

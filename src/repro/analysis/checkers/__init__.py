@@ -1,0 +1,21 @@
+"""The shipped invariant checkers; importing this package registers them.
+
+Add a checker by creating a module here and importing it below — the
+``@register_checker`` decorator does the rest.
+"""
+
+from repro.analysis.checkers import (  # noqa: F401  (registration imports)
+    clock_hygiene,
+    lock_discipline,
+    reason_exhaustiveness,
+    snapshot_schema,
+    wire_drift,
+)
+
+__all__ = [
+    "clock_hygiene",
+    "lock_discipline",
+    "reason_exhaustiveness",
+    "snapshot_schema",
+    "wire_drift",
+]

@@ -1,0 +1,196 @@
+"""BCC005 — snapshot schema: writer and reader must name the same segments.
+
+A ``.bccsnap`` snapshot is a bag of named segments; ``SnapshotWriter``
+chooses the names at write time and ``Snapshot``/``StoredBCIndex`` ask
+for them back by name at attach time.  There is no schema file — the
+agreement lives in string literals on both sides, which is exactly the
+kind of contract a rename breaks silently: the writer happily writes
+``"corenesses"``, every existing snapshot still round-trips its CRCs, and
+the first attach dies at runtime with a missing-segment error.
+
+Three directions, all string-level within ``snapshot.py`` (and its
+sibling store modules, found by directory):
+
+* every key of ``_CORE_SEGMENTS`` (the declared schema) must be written
+  by ``SnapshotWriter``;
+* every constant ``segment("name")`` read must be a written name — either
+  a constant segment tuple or a declared dynamic prefix (the butterfly
+  tables write ``f"bf_ids_{pair_id}"``-style families, read back through
+  the header, so ``bf_ids_``/``bf_chi_`` count as written prefixes);
+* every constant name the writer emits must be read (or declared in
+  ``_CORE_SEGMENTS``) — a write-only segment is dead weight in every
+  snapshot on disk.
+
+Reads are collected only from files in the snapshot module's own
+directory: tests deliberately probing missing segments must not register
+as schema readers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.base import Checker, Project, register_checker
+from repro.analysis.findings import Finding
+from repro.analysis.source import SourceFile
+
+__all__ = ["SnapshotSchemaChecker"]
+
+_SNAPSHOT_BASENAME = "snapshot.py"
+_WRITER_CLASS = "SnapshotWriter"
+_SCHEMA_NAME = "_CORE_SEGMENTS"
+
+
+def _writer_class(tree: ast.AST) -> Optional[ast.ClassDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == _WRITER_CLASS:
+            return node
+    return None
+
+
+def _written_names(writer: ast.ClassDef) -> Tuple[Set[str], Set[str]]:
+    """(constant segment names, dynamic name prefixes) the writer emits.
+
+    Constant names come from 3-tuple literals of the
+    ``(name, typecode, payload-call)`` shape both the initial segment
+    list and every ``segments.append(...)`` use — the payload must be a
+    call (``array_to_bytes(...)``), which keeps plain string triples like
+    the ``("all", "cached", "none")`` mode choices out.  Prefixes come
+    from f-strings starting with a literal (``f"bf_ids_{pair_id}"``).
+    """
+    names: Set[str] = set()
+    prefixes: Set[str] = set()
+    for node in ast.walk(writer):
+        if (
+            isinstance(node, ast.Tuple)
+            and len(node.elts) == 3
+            and isinstance(node.elts[0], ast.Constant)
+            and isinstance(node.elts[0].value, str)
+            and isinstance(node.elts[2], ast.Call)
+        ):
+            names.add(node.elts[0].value)
+        elif (
+            isinstance(node, ast.JoinedStr)
+            and node.values
+            and isinstance(node.values[0], ast.Constant)
+            and isinstance(node.values[0].value, str)
+        ):
+            prefixes.add(node.values[0].value)
+    return names, prefixes
+
+
+def _core_schema(tree: ast.AST) -> List[Tuple[str, int]]:
+    """Keys of the module-level ``_CORE_SEGMENTS`` dict (name, line)."""
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id == _SCHEMA_NAME
+            and isinstance(node.value, ast.Dict)
+        ):
+            return [
+                (key.value, key.lineno)
+                for key in node.value.keys
+                if isinstance(key, ast.Constant) and isinstance(key.value, str)
+            ]
+    return []
+
+
+def _segment_reads(source: SourceFile) -> List[Tuple[str, int]]:
+    """Constant arguments of ``<anything>.segment("name")`` calls."""
+    reads = []
+    for node in ast.walk(source.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "segment"
+            and len(node.args) == 1
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            reads.append((node.args[0].value, node.lineno))
+    return reads
+
+
+@register_checker
+class SnapshotSchemaChecker(Checker):
+    rule = "BCC005"
+    name = "snapshot-schema"
+    description = (
+        "segment names written by SnapshotWriter must equal the names "
+        "declared in _CORE_SEGMENTS and read back at attach time"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        snapshot = project.find_anchor(
+            _SNAPSHOT_BASENAME, lambda tree: _writer_class(tree) is not None
+        )
+        if snapshot is None:
+            return
+        writer = _writer_class(snapshot.tree)
+        written, prefixes = _written_names(writer)
+        schema = _core_schema(snapshot.tree)
+
+        store_dir = snapshot.path.resolve().parent
+        readers = [
+            source
+            for source in project.parsed()
+            if source.path.resolve().parent == store_dir
+        ]
+        reads: List[Tuple[SourceFile, str, int]] = []
+        for source in readers:
+            for name, line in _segment_reads(source):
+                reads.append((source, name, line))
+
+        # Declared schema the writer never writes.
+        for name, line in schema:
+            if name in written:
+                continue
+            if snapshot.is_suppressed(line, self.rule):
+                continue
+            yield Finding(
+                file=snapshot.rel,
+                line=line,
+                col=0,
+                rule=self.rule,
+                message=(
+                    f"{_SCHEMA_NAME} declares segment '{name}' but "
+                    f"{_WRITER_CLASS} never writes it"
+                ),
+            )
+
+        # Reads of names the writer never writes.
+        for source, name, line in reads:
+            if name in written or any(name.startswith(p) for p in prefixes):
+                continue
+            if source.is_suppressed(line, self.rule):
+                continue
+            yield Finding(
+                file=source.rel,
+                line=line,
+                col=0,
+                rule=self.rule,
+                message=(
+                    f"segment '{name}' is read at attach time but "
+                    f"{_WRITER_CLASS} never writes it"
+                ),
+            )
+
+        # Writes nothing ever reads (nor declares in the schema).
+        read_names = {name for _, name, _ in reads}
+        schema_names = {name for name, _ in schema}
+        for name in sorted(written):
+            if name in read_names or name in schema_names:
+                continue
+            yield Finding(
+                file=snapshot.rel,
+                line=writer.lineno,
+                col=writer.col_offset,
+                rule=self.rule,
+                message=(
+                    f"{_WRITER_CLASS} writes segment '{name}' that no "
+                    f"reader or {_SCHEMA_NAME} entry names — dead segment"
+                ),
+            )

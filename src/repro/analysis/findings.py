@@ -1,0 +1,66 @@
+"""The finding model shared by every checker, reporter and the baseline.
+
+A :class:`Finding` is one violated invariant at one source location.  Two
+properties matter for everything downstream:
+
+* **Deterministic ordering** — :meth:`Finding.sort_key` orders findings by
+  ``(file, line, col, rule, message)``, so two runs over the same tree
+  always print (and JSON-serialize) byte-identical reports.  CI diffs and
+  the baseline ratchet depend on this.
+* **Line-insensitive identity** — :meth:`Finding.identity` deliberately
+  drops the line/column.  A baselined finding keeps matching when unrelated
+  edits shift it up or down the file; it stops matching (and fails CI) only
+  when the file, rule or message changes — i.e. when the violation itself
+  changed or multiplied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = ["Finding", "SEVERITY_ERROR", "SEVERITY_WARNING"]
+
+#: A violated invariant: fails the run unless suppressed or baselined.
+SEVERITY_ERROR = "error"
+#: Advisory: reported, but never fails the run.
+SEVERITY_WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``file`` is a POSIX-style path relative to the analysis root (the
+    current working directory), so reports are stable across machines.
+    """
+
+    file: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    severity: str = SEVERITY_ERROR
+
+    def sort_key(self) -> Tuple[str, int, int, str, str]:
+        """Total order making report output deterministic."""
+        return (self.file, self.line, self.col, self.rule, self.message)
+
+    def identity(self) -> Tuple[str, str, str]:
+        """Baseline-matching key: file + rule + message, no line numbers."""
+        return (self.file, self.rule, self.message)
+
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-serializable form (the ``--format json`` row)."""
+        return {
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """The ``--format text`` row: ``file:line:col: RULE message``."""
+        return f"{self.file}:{self.line}:{self.col}: {self.rule} {self.message}"

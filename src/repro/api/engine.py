@@ -413,7 +413,10 @@ class BCCEngine:
         writes raise.  Prefer :meth:`counters_snapshot`, which takes the
         lock and returns a consistent point-in-time copy.
         """
-        return MappingProxyType(self._counters)
+        # Deliberately lock-free: a live read-only *view* cannot take a
+        # snapshot by definition, and single-key reads of int values are
+        # atomic under the GIL.  New code wants counters_snapshot().
+        return MappingProxyType(self._counters)  # noqa: BCC001
 
     def counters_snapshot(self) -> Dict[str, int]:
         """Return a lock-protected, consistent copy of the engine counters.
@@ -933,5 +936,5 @@ class BCCEngine:
             f"BCCEngine(|V|={self.graph.num_vertices()}, "
             f"|E|={self.graph.num_edges()}, prepared={self._prepared}, "
             f"index={'built' if self.has_index() else 'lazy'}, "
-            f"searches={self._counters['searches']})"
+            f"searches={self.counters_snapshot()['searches']})"
         )

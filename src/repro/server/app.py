@@ -50,7 +50,7 @@ import time
 import uuid
 from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.api.engine import (
     deadline_seconds_for,
@@ -511,6 +511,9 @@ class Gateway:
         Entries in the last-good-answer cache backing degraded mode
         (``0`` disables degraded answers entirely — all-replicas-down then
         always answers 503).
+    clock:
+        Monotonic-seconds source for uptime reporting; injectable so
+        deterministic tests can drive it (the BCC002 seam pattern).
 
     Use as a context manager (or call :meth:`start` / :meth:`stop`)::
 
@@ -529,6 +532,7 @@ class Gateway:
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
         fault_plan: Optional[object] = None,
         degraded_cache_size: int = DEFAULT_DEGRADED_CACHE_SIZE,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if max_in_flight < 1:
             raise ValueError("max_in_flight must be >= 1")
@@ -555,7 +559,8 @@ class Gateway:
             "degraded": 0,
             "unavailable": 0,
         }
-        self._started_monotonic = time.monotonic()
+        self._clock = clock
+        self._started_monotonic = clock()
         self._httpd = _GatewayHTTPServer((host, port), _GatewayRequestHandler)
         self._httpd.gateway = self
         self._thread: Optional[threading.Thread] = None
@@ -641,7 +646,7 @@ class Gateway:
         return f"http://{self.host}:{self.port}"
 
     def uptime_seconds(self) -> float:
-        return time.monotonic() - self._started_monotonic
+        return self._clock() - self._started_monotonic
 
     def health_payload(self) -> Dict[str, object]:
         """The ``/healthz`` body: readiness, uptime, versions, admission.

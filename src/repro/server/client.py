@@ -132,6 +132,9 @@ class GatewayClient:
         timeout_seconds: float = 30.0,
         retry_policy: Optional[RetryPolicy] = None,
         retry_rng: Optional[random.Random] = None,
+        # Declared BCC002 seam: retry backoff must really wait in
+        # production (it paces a live server), while tests inject a fake
+        # to assert the schedule without wall-clock delays.
         sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         self.base_url = base_url.rstrip("/")

@@ -147,6 +147,9 @@ class FaultPlan:
         self,
         rules: Iterable[FaultRule] = (),
         seed: int = 0,
+        # Declared BCC002 seam: delay/stall faults should really stall a
+        # live process under manual chaos; the deterministic suites pass
+        # a recording fake instead.
         sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         self._rules: Tuple[FaultRule, ...] = tuple(rules)

@@ -468,8 +468,10 @@ class ReplicaSet:
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        with self._route_lock:
+            searches = self._searches
         return (
             f"ReplicaSet(|V|={self.graph.num_vertices()}, "
             f"replicas={len(self._engines)}, "
-            f"sharded={self._sharded}, searches={self._searches})"
+            f"sharded={self._sharded}, searches={searches})"
         )

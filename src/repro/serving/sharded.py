@@ -556,9 +556,11 @@ class ShardedBCCEngine:
         self._latency.observe(seconds)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        with self._shards_lock:
+            built = len(self._shards)
         return (
             f"ShardedBCCEngine(|V|={self.graph.num_vertices()}, "
             f"shards={len(self._components)}, "
-            f"built={len(self._shards)}, "
-            f"searches={self._counters['searches']})"
+            f"built={built}, "
+            f"searches={self.counters_snapshot()['searches']})"
         )

@@ -116,8 +116,14 @@ class LatencyHistogram:
                 self._max = observed_max
         return self
 
-    def _quantile_upper_bound(self, counts: List[int], rank: float) -> float:
-        """Upper bound of the bucket holding the ``rank``-quantile sample."""
+    def _quantile_upper_bound(
+        self, counts: List[int], rank: float, observed_max: float
+    ) -> float:
+        """Upper bound of the bucket holding the ``rank``-quantile sample.
+
+        ``observed_max`` is the caller's already-snapshotted maximum — this
+        runs outside the lock, so it must not touch live counter state.
+        """
         target = rank * sum(counts)
         running = 0
         for index, count in enumerate(counts):
@@ -125,7 +131,7 @@ class LatencyHistogram:
             if running >= target and count:
                 if index < len(self._bounds):
                     return self._bounds[index]
-                return self._max  # overflow bucket: the observed max
+                return observed_max  # overflow bucket: the observed max
         return 0.0
 
     def snapshot(self) -> Dict[str, object]:
@@ -149,7 +155,9 @@ class LatencyHistogram:
         }
         for name, rank in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99)):
             snapshot[f"{name}_seconds"] = (
-                self._quantile_upper_bound(counts, rank) if count else None
+                self._quantile_upper_bound(counts, rank, observed_max)
+                if count
+                else None
             )
         return snapshot
 

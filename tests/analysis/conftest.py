@@ -1,0 +1,40 @@
+"""Shared fixture: lint an in-memory dict of fixture files in a tmp tree.
+
+Checkers anchor on basenames (``engine.py``, ``protocol.py``…), so a rule
+is reproduced by writing a same-named snippet into ``tmp_path`` and
+running the real pipeline over it — no imports, no packaging.
+"""
+
+import textwrap
+from pathlib import Path
+from typing import Dict, Optional
+
+import pytest
+
+from repro.analysis import Report, discover_files, run_analysis
+
+
+@pytest.fixture
+def lint(tmp_path):
+    """``lint({relpath: source, ...})`` -> :class:`Report` over tmp_path."""
+
+    def _lint(
+        files: Dict[str, str], baseline_path: Optional[Path] = None
+    ) -> Report:
+        for rel, text in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(text), encoding="utf-8")
+        return run_analysis(
+            discover_files([tmp_path]),
+            root=tmp_path,
+            baseline_path=baseline_path,
+        )
+
+    _lint.root = tmp_path
+    return _lint
+
+
+def rules_of(report: Report):
+    """The active rule ids of a report, as a sorted list with duplicates."""
+    return sorted(f.rule for f in report.findings)

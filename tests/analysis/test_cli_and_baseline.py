@@ -1,0 +1,148 @@
+"""CLI surface: formats, exit codes, determinism, the baseline ratchet."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import main, save_baseline
+from repro.analysis.baseline import BaselineError, load_baseline
+
+VIOLATING_ENGINE = textwrap.dedent(
+    '''
+    class BCCEngine:
+        def read(self):
+            return self._counters["searches"]
+
+        def read_again(self):
+            return self._counters["searches"]
+    '''
+)
+
+
+@pytest.fixture
+def tree(tmp_path, monkeypatch):
+    """A tmp tree with one two-violation file; cwd moved there for the CLI."""
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "engine.py").write_text(
+        VIOLATING_ENGINE, encoding="utf-8"
+    )
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+def test_text_format_and_exit_code(tree, capsys):
+    assert main(["pkg"]) == 1
+    out = capsys.readouterr().out
+    assert "pkg/engine.py" in out
+    assert "BCC001" in out
+    assert "2 findings" in out
+
+
+def test_json_format_payload(tree, capsys):
+    assert main(["--format", "json", "pkg"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == 1
+    assert payload["summary"]["active"] == 2
+    assert payload["summary"]["by_rule"] == {"BCC001": 2}
+    assert [f["rule"] for f in payload["findings"]] == ["BCC001", "BCC001"]
+
+
+def test_clean_tree_exits_zero(tree, capsys):
+    (tree / "pkg" / "engine.py").write_text("x = 1\n", encoding="utf-8")
+    assert main(["pkg"]) == 0
+    assert "0 findings" in capsys.readouterr().out
+
+
+def test_output_writes_json_artifact(tree, capsys):
+    assert main(["--output", "report.json", "pkg"]) == 1
+    payload = json.loads((tree / "report.json").read_text(encoding="utf-8"))
+    assert payload["summary"]["active"] == 2
+    # Terminal output stays text when --format was not given.
+    assert "BCC001" in capsys.readouterr().out
+
+
+def test_deterministic_output(tree, capsys):
+    main(["--format", "json", "pkg"])
+    first = capsys.readouterr().out
+    main(["--format", "json", "pkg"])
+    second = capsys.readouterr().out
+    assert first == second
+    findings = json.loads(first)["findings"]
+    keys = [(f["file"], f["line"], f["col"], f["rule"]) for f in findings]
+    assert keys == sorted(keys)
+
+
+def test_missing_path_is_usage_error(tree, capsys):
+    assert main(["no-such-dir"]) == 2
+    assert "no such file" in capsys.readouterr().err
+
+
+def test_syntax_error_reports_bcc000(tree, capsys):
+    (tree / "pkg" / "broken.py").write_text("def f(:\n", encoding="utf-8")
+    assert main(["pkg"]) == 1
+    assert "BCC000" in capsys.readouterr().out
+
+
+def test_write_baseline_then_ratchet(tree, capsys):
+    # Grandfather the two findings...
+    assert main(["--baseline", "baseline.json", "--write-baseline", "pkg"]) == 0
+    assert len(load_baseline(tree / "baseline.json")) >= 1
+    # ...now the same tree passes with them reported as baselined...
+    assert main(["--baseline", "baseline.json", "pkg"]) == 0
+    out = capsys.readouterr().out
+    assert "0 findings (2 baselined)" in out
+    # ...but a NEW violation still fails.
+    (tree / "pkg" / "replicas.py").write_text(
+        textwrap.dedent(
+            '''
+            class ReplicaSet:
+                def read(self):
+                    return self._searches
+            '''
+        ),
+        encoding="utf-8",
+    )
+    assert main(["--baseline", "baseline.json", "pkg"]) == 1
+    out = capsys.readouterr().out
+    assert "1 finding (2 baselined)" in out
+
+
+def test_baseline_matching_is_a_multiset(tree, capsys):
+    # Two identical violations, one baseline slot: one stays active.
+    assert main(["--baseline", "baseline.json", "--write-baseline", "pkg"]) == 0
+    payload = json.loads((tree / "baseline.json").read_text(encoding="utf-8"))
+    payload["findings"] = payload["findings"][:1]
+    (tree / "baseline.json").write_text(
+        json.dumps(payload), encoding="utf-8"
+    )
+    assert main(["--baseline", "baseline.json", "pkg"]) == 1
+    assert "1 finding (1 baselined)" in capsys.readouterr().out
+
+
+def test_baseline_survives_line_shifts(tree, capsys):
+    assert main(["--baseline", "baseline.json", "--write-baseline", "pkg"]) == 0
+    shifted = "# a new leading comment\n\n" + VIOLATING_ENGINE
+    (tree / "pkg" / "engine.py").write_text(shifted, encoding="utf-8")
+    assert main(["--baseline", "baseline.json", "pkg"]) == 0
+
+
+def test_malformed_baseline_is_usage_error(tree, capsys):
+    (tree / "baseline.json").write_text("[]", encoding="utf-8")
+    assert main(["--baseline", "baseline.json", "pkg"]) == 2
+    assert "baseline" in capsys.readouterr().err
+
+
+def test_save_and_load_round_trip(tmp_path):
+    from repro.analysis import Finding
+
+    findings = [
+        Finding("b.py", 2, 0, "BCC001", "m1"),
+        Finding("a.py", 9, 4, "BCC002", "m2"),
+    ]
+    save_baseline(tmp_path / "b.json", findings)
+    loaded = load_baseline(tmp_path / "b.json")
+    assert loaded[("a.py", "BCC002", "m2")] == 1
+    assert loaded[("b.py", "BCC001", "m1")] == 1
+    with pytest.raises(BaselineError):
+        load_baseline(tmp_path / "missing.json")

@@ -1,0 +1,114 @@
+"""BCC002 fixtures: server-scope seams, chaos strictness, noqa."""
+
+from conftest import rules_of
+
+
+def test_bare_sleep_in_server_package_fires(lint):
+    report = lint(
+        {
+            "repro/server/poller.py": '''
+            import time
+
+            def poll():
+                time.sleep(0.1)
+            '''
+        }
+    )
+    assert rules_of(report) == ["BCC002"]
+    assert "time.sleep" in report.findings[0].message
+
+
+def test_parameter_default_seam_is_clean(lint):
+    report = lint(
+        {
+            "repro/server/breaker.py": '''
+            import time
+
+            class Breaker:
+                def __init__(self, clock=time.monotonic, sleep=time.sleep):
+                    self._clock = clock
+                    self._sleep = sleep
+
+                def wait(self, seconds):
+                    self._sleep(seconds)
+                    return self._clock()
+            '''
+        }
+    )
+    assert report.findings == []
+
+
+def test_from_import_fires(lint):
+    report = lint(
+        {
+            "repro/server/wedge.py": '''
+            from time import sleep
+
+            def wedge():
+                sleep(1.0)
+            '''
+        }
+    )
+    assert rules_of(report) == ["BCC002"]
+    assert "from time import sleep" in report.findings[0].message
+
+
+def test_perf_counter_is_allowed(lint):
+    report = lint(
+        {
+            "repro/server/timing.py": '''
+            import time
+
+            def measure(fn):
+                started = time.perf_counter()
+                fn()
+                return time.perf_counter() - started
+            '''
+        }
+    )
+    assert report.findings == []
+
+
+def test_outside_server_package_is_out_of_scope(lint):
+    report = lint(
+        {
+            "repro/serving/warm.py": '''
+            import time
+
+            def warm():
+                time.sleep(0.5)
+            '''
+        }
+    )
+    assert report.findings == []
+
+
+def test_chaos_suite_bans_even_defaults(lint):
+    # test_chaos.py runs on fake clocks only: the seam exemption that
+    # server modules get does not apply there.
+    report = lint(
+        {
+            "test_chaos.py": '''
+            import time
+
+            def test_breaker(clock=time.monotonic):
+                assert clock() >= 0
+            '''
+        }
+    )
+    assert rules_of(report) == ["BCC002"]
+    assert "fake clocks" in report.findings[0].message
+
+
+def test_noqa_suppresses_declared_exemption(lint):
+    report = lint(
+        {
+            "repro/server/startup.py": '''
+            import time
+
+            def warmup_pause():
+                time.sleep(0.01)  # noqa: BCC002
+            '''
+        }
+    )
+    assert report.findings == []

@@ -1,0 +1,244 @@
+"""BCC003/BCC004/BCC005 fixtures: the cross-file contract checkers."""
+
+from conftest import rules_of
+
+# ---------------------------------------------------------------------------
+# BCC003 — wire drift
+# ---------------------------------------------------------------------------
+
+MODEL_WITH_EXTRA_FIELD = '''
+from dataclasses import dataclass
+
+@dataclass
+class Query:
+    method: str
+    vertices: tuple
+    config: object = None
+    priority: int = 0
+'''
+
+CODEC_WITHOUT_PRIORITY = '''
+def encode_query(query):
+    return {
+        "method": query.method,
+        "vertices": list(query.vertices),
+        "config": query.config,
+    }
+
+def decode_query(payload):
+    return (payload["method"], payload["vertices"], payload["config"])
+'''
+
+
+def test_unhandled_field_fires_on_both_codec_sides(lint):
+    report = lint(
+        {
+            "query.py": MODEL_WITH_EXTRA_FIELD,
+            "protocol.py": CODEC_WITHOUT_PRIORITY,
+        }
+    )
+    assert rules_of(report) == ["BCC003", "BCC003"]
+    messages = sorted(f.message for f in report.findings)
+    assert "decode_query" in messages[0]
+    assert "encode_query" in messages[1]
+    assert all("Query.priority" in m for m in messages)
+
+
+def test_fully_handled_fields_are_clean(lint):
+    report = lint(
+        {
+            "query.py": MODEL_WITH_EXTRA_FIELD,
+            "protocol.py": '''
+            def encode_query(query):
+                return {
+                    "method": query.method,
+                    "vertices": list(query.vertices),
+                    "config": query.config,
+                    "priority": query.priority,
+                }
+
+            def decode_query(payload):
+                return (
+                    payload["method"],
+                    payload["vertices"],
+                    payload["config"],
+                    payload["priority"],
+                )
+            ''',
+        }
+    )
+    assert report.findings == []
+
+
+def test_declared_server_side_fields_are_exempt(lint):
+    report = lint(
+        {
+            "query.py": '''
+            from dataclasses import dataclass
+
+            @dataclass
+            class SearchResponse:
+                method: str
+                result: object = None
+                instrumentation: object = None
+            ''',
+            "protocol.py": '''
+            def encode_query(query):
+                return {}
+
+            def encode_response(response):
+                return {"method": response.method}
+
+            def decode_response(payload):
+                return payload["method"]
+            ''',
+        }
+    )
+    assert report.findings == []
+
+
+def test_absent_anchors_skip_quietly(lint):
+    report = lint({"query.py": MODEL_WITH_EXTRA_FIELD})
+    assert report.findings == []
+
+
+# ---------------------------------------------------------------------------
+# BCC004 — reason / method-registry exhaustiveness
+# ---------------------------------------------------------------------------
+
+
+def test_unmapped_reason_fires(lint):
+    report = lint(
+        {
+            "exceptions.py": '''
+            REASON_NO_CORE = "no-core"
+            REASON_BRAND_NEW = "brand-new"
+
+            HTTP_STATUS_BY_REASON = {
+                REASON_NO_CORE: 200,
+            }
+            '''
+        }
+    )
+    assert rules_of(report) == ["BCC004"]
+    assert "REASON_BRAND_NEW" in report.findings[0].message
+
+
+def test_method_missing_from_parity_suite_fires(lint):
+    report = lint(
+        {
+            "methods.py": '''
+            @register_method("psa", display="PSA")
+            def run_psa():
+                pass
+
+            @register_method("novel-method")
+            def run_novel():
+                pass
+            ''',
+            "test_parity.py": '''
+            PAIR_METHODS = {"psa": None}
+            ''',
+        }
+    )
+    assert rules_of(report) == ["BCC004"]
+    assert "novel-method" in report.findings[0].message
+
+
+def test_parity_half_skips_without_parity_file(lint):
+    report = lint(
+        {
+            "methods.py": '''
+            @register_method("unchecked")
+            def run_unchecked():
+                pass
+            '''
+        }
+    )
+    assert report.findings == []
+
+
+# ---------------------------------------------------------------------------
+# BCC005 — snapshot schema
+# ---------------------------------------------------------------------------
+
+SNAPSHOT_WITH_DRIFT = '''
+_CORE_SEGMENTS = {
+    "offsets": ("q", 1),
+    "labels": ("i", 1),
+}
+
+class SnapshotWriter:
+    def write(self):
+        segments = [
+            ("offsets", "q", pack()),
+            ("orphan", "i", pack()),
+        ]
+        for pair_id in self.pairs:
+            segments.append((f"bf_ids_{pair_id}", "i", pack()))
+        return segments
+
+class Snapshot:
+    def attach(self):
+        self.segment("offsets")
+        self.segment("bf_ids_3")
+        self.segment("ghost")
+'''
+
+
+def test_snapshot_schema_drift_fires_in_all_directions(lint):
+    report = lint({"snapshot.py": SNAPSHOT_WITH_DRIFT})
+    assert rules_of(report) == ["BCC005", "BCC005", "BCC005"]
+    messages = " | ".join(f.message for f in report.findings)
+    # Declared but never written; read but never written; written but dead.
+    assert "'labels'" in messages and "never writes" in messages
+    assert "'ghost'" in messages
+    assert "'orphan'" in messages and "dead segment" in messages
+    # The f-string family read is covered by the declared prefix.
+    assert "bf_ids_3" not in messages
+
+
+def test_agreeing_writer_and_reader_are_clean(lint):
+    report = lint(
+        {
+            "snapshot.py": '''
+            _CORE_SEGMENTS = {
+                "offsets": ("q", 1),
+            }
+
+            class SnapshotWriter:
+                def write(self):
+                    return [("offsets", "q", pack())]
+
+            class Snapshot:
+                def attach(self):
+                    return self.segment("offsets")
+            '''
+        }
+    )
+    assert report.findings == []
+
+
+def test_reads_outside_store_directory_are_ignored(lint):
+    # Tests probing a deliberately missing segment live in another
+    # directory and must not register as schema readers.
+    report = lint(
+        {
+            "store/snapshot.py": '''
+            _CORE_SEGMENTS = {"offsets": ("q", 1)}
+
+            class SnapshotWriter:
+                def write(self):
+                    return [("offsets", "q", pack())]
+
+            class Snapshot:
+                def attach(self):
+                    return self.segment("offsets")
+            ''',
+            "tests/test_snapshot.py": '''
+            def test_missing_segment(snapshot):
+                snapshot.segment("definitely-not-there")
+            ''',
+        }
+    )
+    assert report.findings == []
