@@ -34,6 +34,10 @@ from typing import Callable, Dict, List
 REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
+if str(REPO_ROOT / "benchmarks") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from reporting import write_results  # noqa: E402
 
 from repro.core.butterfly import butterfly_degrees  # noqa: E402
 from repro.core.kcore import core_decomposition, k_core_vertices  # noqa: E402
@@ -229,8 +233,7 @@ def main(argv: List[str] | None = None) -> int:
         "networks": networks,
         "floor_check_on_largest": floor_check,
     }
-    RESULTS_PATH.parent.mkdir(exist_ok=True)
-    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    write_results(payload, RESULTS_PATH)
 
     header = f"{'network':<12} {'kernel':<12} {'old (ms)':>10} {'new (ms)':>10} {'speedup':>8}"
     print("\n" + header)

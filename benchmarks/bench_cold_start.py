@@ -36,6 +36,10 @@ from typing import List
 REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
+if str(REPO_ROOT / "benchmarks") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from reporting import write_results  # noqa: E402
 
 from repro.api import BCCEngine, Query  # noqa: E402
 from repro.datasets import load_dataset  # noqa: E402
@@ -163,32 +167,27 @@ def main() -> int:
         )
 
     results_path = Path(args.results)
-    results_path.parent.mkdir(parents=True, exist_ok=True)
-    results_path.write_text(
-        json.dumps(
-            {
-                "benchmark": "cold_start",
-                "smoke": args.smoke,
-                "network": NETWORK,
-                "vertices": bundle.graph.num_vertices(),
-                "edges": bundle.graph.num_edges(),
-                "trials": shape["trials"],
-                "snapshot_bytes": info["bytes"],
-                "persist_seconds": persist_seconds,
-                "rebuild_seconds_median": rebuild_median,
-                "attach_seconds_median": attach_median,
-                "rebuild_seconds": rebuild_times,
-                "attach_seconds": attach_times,
-                "speedup": speedup,
-                "speedup_floor": SPEEDUP_FLOOR,
-                "floor_asserted": not args.smoke,
-                "parity_queries": len(queries),
-                "parity_mismatches": mismatches,
-            },
-            indent=2,
-            sort_keys=True,
-        )
-        + "\n"
+    write_results(
+        {
+            "benchmark": "cold_start",
+            "smoke": args.smoke,
+            "network": NETWORK,
+            "vertices": bundle.graph.num_vertices(),
+            "edges": bundle.graph.num_edges(),
+            "trials": shape["trials"],
+            "snapshot_bytes": info["bytes"],
+            "persist_seconds": persist_seconds,
+            "rebuild_seconds_median": rebuild_median,
+            "attach_seconds_median": attach_median,
+            "rebuild_seconds": rebuild_times,
+            "attach_seconds": attach_times,
+            "speedup": speedup,
+            "speedup_floor": SPEEDUP_FLOOR,
+            "floor_asserted": not args.smoke,
+            "parity_queries": len(queries),
+            "parity_mismatches": mismatches,
+        },
+        results_path,
     )
     snapshot_path.unlink(missing_ok=True)
     print(f"  wrote {results_path}")

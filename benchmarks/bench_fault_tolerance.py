@@ -39,6 +39,10 @@ from typing import Dict, List
 REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
+if str(REPO_ROOT / "benchmarks") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from reporting import write_results  # noqa: E402
 
 from repro.api import Query, SearchConfig  # noqa: E402
 from repro.datasets import load_dataset  # noqa: E402
@@ -210,31 +214,26 @@ def main() -> int:
     assert hot_stats["health"]["state"] == "degraded"
     assert health_payload["status"] == "degraded"
 
-    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
-    RESULTS_PATH.write_text(
-        json.dumps(
-            {
-                "benchmark": "fault_tolerance",
-                "smoke": args.smoke,
-                "network": NETWORK,
-                "replicas": REPLICAS,
-                "trace_length": len(trace),
-                "concurrency": trace_shape["concurrency"],
-                "kill_after_dispatches": kill_after,
-                "availability": availability,
-                "served": served,
-                "failed": outcomes.count("failed"),
-                "latency_p50_seconds": statistics.median(latencies),
-                "latency_p99_seconds": p99,
-                "wall_seconds": wall_seconds,
-                "failing_replica_health": failing_health,
-                "set_counters": hot_stats["counters"],
-                "fault_plan": plan.snapshot(),
-            },
-            indent=2,
-            sort_keys=True,
-        )
-        + "\n"
+    write_results(
+        {
+            "benchmark": "fault_tolerance",
+            "smoke": args.smoke,
+            "network": NETWORK,
+            "replicas": REPLICAS,
+            "trace_length": len(trace),
+            "concurrency": trace_shape["concurrency"],
+            "kill_after_dispatches": kill_after,
+            "availability": availability,
+            "served": served,
+            "failed": outcomes.count("failed"),
+            "latency_p50_seconds": statistics.median(latencies),
+            "latency_p99_seconds": p99,
+            "wall_seconds": wall_seconds,
+            "failing_replica_health": failing_health,
+            "set_counters": hot_stats["counters"],
+            "fault_plan": plan.snapshot(),
+        },
+        RESULTS_PATH,
     )
     print(f"  wrote {RESULTS_PATH.relative_to(REPO_ROOT)}")
     print("fault-tolerance benchmark: PASS")

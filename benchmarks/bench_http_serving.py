@@ -47,6 +47,10 @@ from typing import Dict, List
 REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
+if str(REPO_ROOT / "benchmarks") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from reporting import write_results  # noqa: E402
 
 from repro.api import Query, SearchConfig  # noqa: E402
 from repro.datasets import load_dataset  # noqa: E402
@@ -342,8 +346,7 @@ def main() -> int:
             "engages when offered concurrency exceeds the in-flight cap"
         ),
     }
-    RESULTS_PATH.parent.mkdir(exist_ok=True)
-    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    write_results(payload, RESULTS_PATH)
     print(f"[written to {RESULTS_PATH}]")
 
     if not args.smoke and not floors_met:

@@ -43,6 +43,10 @@ from typing import Dict, List, Tuple
 REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
+if str(REPO_ROOT / "benchmarks") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from reporting import write_results  # noqa: E402
 
 from repro.api import BCCEngine, Query, SearchConfig  # noqa: E402
 from repro.datasets import load_dataset  # noqa: E402
@@ -294,8 +298,7 @@ def main() -> int:
             "short-circuited at the router for free"
         ),
     }
-    RESULTS_PATH.parent.mkdir(exist_ok=True)
-    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    write_results(payload, RESULTS_PATH)
     print(f"[written to {RESULTS_PATH}]")
 
     if not args.smoke and not floors_met:

@@ -1,0 +1,33 @@
+"""Shared result-writing for the standalone benchmark scripts.
+
+Every bench writes its JSON payload to ``benchmarks/results/`` (the
+git-ignored working directory) **and** mirrors it to a repo-root
+``BENCH_<name>.json`` — the stable, discoverable location CI artifact
+uploads and the acceptance checks read, with no knowledge of the bench's
+internal layout.  One helper keeps the two copies byte-identical.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def write_results(payload: object, results_path: Path) -> List[Path]:
+    """Write ``payload`` as JSON to ``results_path`` and mirror it repo-root.
+
+    The mirror keeps the results file's own basename (``BENCH_*.json``),
+    so a bench invoked with a custom ``--results`` path still lands a
+    root copy under its canonical name.  Returns the written paths,
+    results-directory copy first.
+    """
+    text = json.dumps(payload, indent=2) + "\n"
+    results_path = Path(results_path)
+    results_path.parent.mkdir(parents=True, exist_ok=True)
+    results_path.write_text(text, encoding="utf-8")
+    root_copy = REPO_ROOT / results_path.name
+    root_copy.write_text(text, encoding="utf-8")
+    return [results_path, root_copy]

@@ -67,8 +67,12 @@ from repro.store import (
     SnapshotStore,
     SnapshotWriter,
 )
+from repro.parallel import (
+    ProcessEngine,
+    ProcessWorkerPool,
+)
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "BCCEngine",
@@ -77,6 +81,8 @@ __all__ = [
     "Gateway",
     "GatewayClient",
     "GraphDirectory",
+    "ProcessEngine",
+    "ProcessWorkerPool",
     "ReplicaSet",
     "ServingStats",
     "ShardedBCCEngine",

@@ -9,13 +9,16 @@ turns a deterministic test flaky.
 
 Two scopes, two strictness levels:
 
-* Files under ``repro/server/`` — ``time.sleep``, ``time.time`` and
-  ``time.monotonic`` may appear **only as parameter defaults** (the
-  declared injectable seam, e.g.
+* Files under ``repro/server/`` or ``repro/parallel/`` — ``time.sleep``,
+  ``time.time`` and ``time.monotonic`` may appear **only as parameter
+  defaults** (the declared injectable seam, e.g.
   ``def __init__(..., clock: Callable[[], float] = time.monotonic)``).
   Any other reference — call, alias, ``from time import sleep`` — is a
   finding.  ``time.perf_counter`` is deliberately allowed: it measures
-  elapsed wall intervals for stats and never gates behavior.
+  elapsed wall intervals for stats and never gates behavior.  The
+  parallel package is in scope because its deadline watchdog and worker
+  respawn logic gate behavior on the clock exactly like the server
+  package's breakers do — chaos tests drive both on virtual time.
 * ``test_chaos.py`` — the three banned names may not appear **at all**,
   defaults included: chaos tests run on fake clocks, full stop.
 """
@@ -37,10 +40,16 @@ BANNED_TIME_NAMES: FrozenSet[str] = frozenset({"sleep", "time", "monotonic"})
 _CHAOS_BASENAME = "test_chaos.py"
 
 
-def _in_server_package(source: SourceFile) -> bool:
+#: Packages whose behavior-gating clocks must ride injectable seams.
+_CLOCKED_PACKAGES = (("repro", "server"), ("repro", "parallel"))
+
+
+def _in_clocked_package(source: SourceFile) -> bool:
     parts = source.path.resolve().parts
     return any(
-        parts[i : i + 2] == ("repro", "server") for i in range(len(parts) - 1)
+        parts[i : i + 2] == package
+        for package in _CLOCKED_PACKAGES
+        for i in range(len(parts) - 1)
     )
 
 
@@ -63,14 +72,15 @@ class ClockHygieneChecker(Checker):
     rule = "BCC002"
     name = "clock-hygiene"
     description = (
-        "no bare time.sleep/time.time/time.monotonic in repro/server/ "
-        "outside injectable parameter defaults; none at all in test_chaos.py"
+        "no bare time.sleep/time.time/time.monotonic in repro/server/ or "
+        "repro/parallel/ outside injectable parameter defaults; none at "
+        "all in test_chaos.py"
     )
 
     def check(self, project: Project) -> Iterator[Finding]:
         for source in project.parsed():
             is_chaos = source.basename == _CHAOS_BASENAME
-            if not is_chaos and not _in_server_package(source):
+            if not is_chaos and not _in_clocked_package(source):
                 continue
             seam_ok = not is_chaos
             allowed = _default_nodes(source.tree) if seam_ok else set()
@@ -114,6 +124,7 @@ class ClockHygieneChecker(Checker):
                 f"fake clocks only"
             )
         return (
-            f"{what} in the server package — route wall-clock through an "
-            f"injectable clock=/sleep= parameter default"
+            f"{what} in a clocked package (repro/server/, repro/parallel/) "
+            f"— route wall-clock through an injectable clock=/sleep= "
+            f"parameter default"
         )

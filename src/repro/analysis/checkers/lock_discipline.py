@@ -67,6 +67,12 @@ GUARDED_FIELDS: Dict[str, Dict[str, Dict[str, str]]] = {
             "_replica_failures": "_route_lock",
         },
     },
+    "pool.py": {
+        "ProcessWorkerPool": {
+            "_counters": "_counters_lock",
+            "_workers": "_workers_lock",
+        },
+    },
     "resilience.py": {
         "ReplicaHealth": {
             "_state": "_lock",

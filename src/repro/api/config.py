@@ -25,7 +25,11 @@ from repro.core.path_weight import PathWeightConfig
 from repro.exceptions import QueryError
 
 #: Kernel substrates accepted by :attr:`SearchConfig.backend`.
-BACKENDS = ("auto", "object", "csr")
+#: ``"process"`` selects the CSR kernels plus the multi-process batch
+#: transport (:mod:`repro.parallel`): a single ``search`` runs the CSR
+#: fast path in-process, while ``search_many`` scatter-gathers the batch
+#: across shared-memory worker processes.
+BACKENDS = ("auto", "object", "csr", "process")
 
 
 @dataclass(frozen=True)
@@ -53,7 +57,10 @@ class SearchConfig:
     rho:
         Leader search radius of Algorithm 6 (LP-BCC / L2P-BCC).
     backend:
-        Kernel substrate: ``"auto"`` (default), ``"object"`` or ``"csr"``.
+        Kernel substrate: ``"auto"`` (default), ``"object"``, ``"csr"`` or
+        ``"process"``.  ``"process"`` behaves like ``"csr"`` inside one
+        process and additionally opts ``search_many`` batches into the
+        shared-memory worker pool of :mod:`repro.parallel`.
     max_iterations:
         Optional safety cap on peeling iterations.
     fast_path:

@@ -50,6 +50,7 @@ from __future__ import annotations
 import dataclasses
 import threading
 import time
+import warnings
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from types import MappingProxyType
@@ -75,12 +76,14 @@ from repro.exceptions import (
     REASON_MISSING_VERTEX,
     REASON_UNAVAILABLE,
     REASON_UNKNOWN_METHOD,
+    REASON_WORKER_CRASHED,
     AllReplicasEjectedError,
     DeadlineExceededError,
     EmptyCommunityError,
     QueryError,
     UnknownMethodError,
     VertexNotFoundError,
+    WorkerCrashedError,
 )
 from repro.graph.labeled_graph import Label, LabeledGraph
 
@@ -105,7 +108,34 @@ ENGINE_COUNTER_NAMES = (
     "result_cache_expirations",
     "result_cache_rejections",
     "result_cache_budget_evictions",
+    "process_batches",
+    "process_tasks",
+    "process_fallbacks",
 )
+
+#: Edge count below which ``backend="auto"`` keeps batches on the threaded
+#: path: under it the per-task wire marshalling and worker startup dominate
+#: any kernel parallelism, and the small-graph test workloads stay exactly
+#: on the code path they always exercised.
+PROCESS_AUTO_MIN_EDGES = 2048
+
+# One warning per process when the process backend falls back to threads
+# (satellite: unavailable shared memory must degrade loudly-once, not
+# per-batch); the "process_fallbacks" counter keeps the full tally.
+_PROCESS_FALLBACK_WARNED = False
+
+
+def _warn_process_fallback_once(reason: str) -> None:
+    global _PROCESS_FALLBACK_WARNED
+    if _PROCESS_FALLBACK_WARNED:
+        return
+    _PROCESS_FALLBACK_WARNED = True
+    warnings.warn(
+        f"process backend unavailable ({reason}); serving batches on the "
+        "threaded path instead",
+        RuntimeWarning,
+        stacklevel=4,
+    )
 
 
 def _error_message(exc: BaseException) -> str:
@@ -148,6 +178,8 @@ def reason_for_error(exc: Exception) -> str:
         return REASON_DEADLINE_EXCEEDED
     if isinstance(exc, AllReplicasEjectedError):
         return REASON_UNAVAILABLE
+    if isinstance(exc, WorkerCrashedError):
+        return REASON_WORKER_CRASHED
     return REASON_INVALID_QUERY
 
 
@@ -399,6 +431,11 @@ class BCCEngine:
         self._version_lock = threading.Lock()
         self._cache_lock = threading.Lock()
         self._counters_lock = threading.Lock()
+        # Lazy multi-process batch transport (backend="process").  The pool
+        # lock only guards the slot; pool shutdown always happens outside
+        # every engine lock because close() joins worker processes.
+        self._pool_lock = threading.Lock()
+        self._process_pool: Optional[object] = None
         self._counters: Dict[str, int] = {
             name: 0 for name in ENGINE_COUNTER_NAMES
         }
@@ -444,6 +481,7 @@ class BCCEngine:
         """
         if self.graph.version() == self._graph_version:
             return
+        stale_pool = None
         with self._version_lock:
             version = self.graph.version()
             if version == self._graph_version:
@@ -455,7 +493,14 @@ class BCCEngine:
             self._prepared = False
             with self._cache_lock:
                 self._result_cache.clear()
+            with self._pool_lock:
+                stale_pool = self._process_pool
+                self._process_pool = None
             self._count("invalidations")
+        if stale_pool is not None:
+            # Workers hold the *old* frozen snapshot; joining them can take
+            # a moment, so it happens outside every engine lock.
+            stale_pool.close()
 
     def prepare(self) -> "BCCEngine":
         """Freeze the graph's CSR snapshot so every query serves warm.
@@ -777,6 +822,7 @@ class BCCEngine:
         on_error: str = "raise",
         max_workers: int = 1,
         use_cache: bool = True,
+        backend: Optional[str] = None,
     ) -> List[SearchResponse]:
         """Serve a batch of queries over one warm snapshot.
 
@@ -813,15 +859,64 @@ class BCCEngine:
         and therefore aggregates counters across every query (use
         ``max_workers=1`` with it — the counters are not merged atomically);
         leave it ``None`` to give each response its own per-search counters.
+
+        ``backend`` selects the batch *transport*.  ``"process"`` scatters
+        the rows over a pool of ``max_workers`` worker processes serving
+        the same frozen CSR arrays from shared memory (zero-copy), gathers
+        position-aligned responses through the wire codec, and applies the
+        same ``on_error`` / deadline semantics — including a crashed
+        worker, which becomes a ``reason="worker-crashed"`` error row under
+        ``"return"``, never a hang.  ``None`` (the default) defers to the
+        effective config's ``backend``; ``"auto"`` picks the process
+        transport only for compute-bound shapes (``max_workers > 1``, more
+        than one row, at least :data:`PROCESS_AUTO_MIN_EDGES` edges, no
+        shared instrumentation).  When shared memory is unavailable (or an
+        instrumented run was requested explicitly), the batch falls back to
+        the threaded path with a one-time :class:`RuntimeWarning` and a
+        ``"process_fallbacks"`` counter tick — never an error.  The pool is
+        created lazily, reused across batches, resized up when a later call
+        asks for more workers, and torn down on graph mutation or
+        :meth:`close_process_pool`.
         """
 
         def prepare_once() -> None:
             if not self.is_prepared():
                 self.prepare()
 
+        if isinstance(queries, BatchQuery):
+            batch = queries
+        else:
+            # Validated once here (same member-type rule serve_batch
+            # applies) so the process path can inspect the rows without
+            # consuming a caller's iterator.
+            batch = BatchQuery(queries=tuple(queries))
+
+        resolved_backend = backend
+        if resolved_backend is None:
+            base = config if config is not None else self.config
+            resolved_backend = base.backend
+        use_process = resolved_backend == "process" or (
+            resolved_backend == "auto"
+            and max_workers > 1
+            and len(batch.queries) > 1
+            and instrumentation is None
+            and self.graph.num_edges() >= PROCESS_AUTO_MIN_EDGES
+        )
+        if use_process:
+            responses = self._try_serve_process(
+                batch,
+                config=config,
+                instrumentation=instrumentation,
+                on_error=on_error,
+                max_workers=max_workers,
+                use_cache=use_cache,
+            )
+            if responses is not None:
+                return responses
+
         return serve_batch(
             self,
-            queries,
+            batch,
             config=config,
             instrumentation=instrumentation,
             on_error=on_error,
@@ -829,6 +924,119 @@ class BCCEngine:
             use_cache=use_cache,
             prepare=prepare_once,
         )
+
+    # ------------------------------------------------------------------
+    # process batch transport
+    # ------------------------------------------------------------------
+    def _try_serve_process(
+        self,
+        batch: BatchQuery,
+        *,
+        config: Optional[SearchConfig],
+        instrumentation: Optional[SearchInstrumentation],
+        on_error: str,
+        max_workers: int,
+        use_cache: bool,
+    ) -> Optional[List[SearchResponse]]:
+        """Serve ``batch`` through the worker pool, or ``None`` to fall back.
+
+        Every fallback (no shared memory, spawn failure, instrumented run)
+        is graceful: counted in ``"process_fallbacks"``, warned exactly
+        once per process, and the caller reverts to the threaded path.
+        Caller errors and error rows propagate from the pool unchanged.
+        """
+        from repro.parallel.shm import ProcessBackendUnavailable
+
+        if instrumentation is not None:
+            # Live counter objects cannot cross the process boundary.
+            self._register_process_fallback(
+                "caller-supplied instrumentation cannot cross the process "
+                "boundary"
+            )
+            return None
+        try:
+            pool = self._ensure_process_pool(max(1, max_workers))
+            rows = [
+                (query, self._row_config(config, query, batch.config), None)
+                for query in batch.queries
+            ]
+            responses = pool.run_batch(rows, on_error=on_error, use_cache=use_cache)
+        except ProcessBackendUnavailable as exc:
+            self._register_process_fallback(str(exc))
+            return None
+        self._count("process_batches")
+        self._count("process_tasks", len(batch.queries))
+        return responses
+
+    @staticmethod
+    def _row_config(
+        config: Optional[SearchConfig],
+        query: Query,
+        batch_config: Optional[SearchConfig],
+    ) -> Optional[SearchConfig]:
+        """The row's effective config under call > query > batch precedence.
+
+        ``None`` means "engine default": the worker's engine was built from
+        this engine's config, so leaving the row config empty applies the
+        same base the threaded path would.
+        """
+        if config is not None:
+            return config
+        if query.config is not None:
+            return query.config
+        return batch_config
+
+    def _ensure_process_pool(self, workers: int):
+        """The live pool, created (or grown) on demand under the pool lock.
+
+        ``prepare()`` runs *before* the pool lock — the export freezes the
+        CSR snapshot, and the version lock acquires the pool lock during
+        invalidation, so taking them in the other order here would deadlock.
+        """
+        from repro.parallel.pool import ProcessWorkerPool
+
+        if not self.is_prepared():
+            self.prepare()
+        stale = None
+        with self._pool_lock:
+            current = self._process_pool
+            if current is not None and current.workers >= workers:
+                return current
+            pool = ProcessWorkerPool(
+                self.graph,
+                self.config,
+                workers,
+                result_cache_size=self._result_cache_size,
+                fault_plan=self.fault_plan,
+            )
+            try:
+                pool.start()
+            except Exception:
+                pool.close()
+                raise
+            self._process_pool = pool
+            stale = current
+        if stale is not None:
+            stale.close()
+        return pool
+
+    def _register_process_fallback(self, reason: str) -> None:
+        self._count("process_fallbacks")
+        _warn_process_fallback_once(reason)
+
+    def process_pool_stats(self) -> Optional[Dict[str, object]]:
+        """The worker pool's stats block, or ``None`` when no pool is live."""
+        with self._pool_lock:
+            pool = self._process_pool
+        return None if pool is None else pool.stats()
+
+    def close_process_pool(self) -> None:
+        """Shut the worker pool down (idempotent; a later batch respawns it)."""
+        with self._pool_lock:
+            pool = self._process_pool
+            self._process_pool = None
+        if pool is not None:
+            pool.close()
 
     # ------------------------------------------------------------------
     # introspection

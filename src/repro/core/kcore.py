@@ -37,8 +37,14 @@ CSR_PEEL_MIN_EDGES = 8192
 
 
 def _resolve_backend(graph: LabeledGraph, backend: str, min_edges: int) -> str:
-    """Map ``auto`` to ``csr``/``object`` by snapshot warmth and graph size."""
+    """Map ``auto`` to ``csr``/``object`` by snapshot warmth and graph size.
+
+    ``"process"`` is the batch-transport backend (:mod:`repro.parallel`);
+    inside one process its kernels are exactly the CSR kernels.
+    """
     if backend != "auto":
+        if backend == "process":
+            return "csr"
         if backend not in ("csr", "object"):
             raise ValueError(f"unknown backend {backend!r}")
         return backend

@@ -90,6 +90,13 @@ REASON_DEADLINE_EXCEEDED = "deadline-exceeded"
 #: ``Retry-After``.
 REASON_UNAVAILABLE = "unavailable"
 
+#: A worker process of the multi-process compute backend died (was killed,
+#: segfaulted, or exited) while the query was in flight.  The pool respawns
+#: the worker and ``search_many(on_error="return")`` converts the loss into
+#: a position-aligned error row — never a hang.  A transient server-side
+#: condition, so the gateway maps it to ``503``.
+REASON_WORKER_CRASHED = "worker-crashed"
+
 #: Every registered reason code, derived from the module globals so a new
 #: ``REASON_*`` constant is automatically part of the contract (and the
 #: exhaustiveness test fails until :data:`HTTP_STATUS_BY_REASON` maps it).
@@ -122,6 +129,7 @@ HTTP_STATUS_BY_REASON = {
     REASON_INVALID_QUERY: 400,
     REASON_UNKNOWN_METHOD: 400,
     REASON_UNAVAILABLE: 503,
+    REASON_WORKER_CRASHED: 503,
     REASON_DEADLINE_EXCEEDED: 504,
 }
 
@@ -194,6 +202,29 @@ class AllReplicasEjectedError(ReproError):
         )
         self.name = name
         self.replicas = replicas
+
+
+class WorkerCrashedError(ReproError):
+    """A process-backend worker died while this query was in flight.
+
+    Raised by :class:`repro.parallel.ProcessWorkerPool` under
+    ``on_error="raise"`` (and converted into a position-aligned
+    ``status="error"`` / ``reason="worker-crashed"`` row under
+    ``"return"``).  The pool has already respawned the worker by the time
+    this surfaces; retrying the query is safe and usually succeeds, which
+    is why the replica health tracker treats it as an ordinary replica
+    failure (failover + breaker bookkeeping, never a caller error).
+    """
+
+    def __init__(self, message: str = "", worker: int = -1, pid=None) -> None:
+        if not message:
+            who = f"worker {worker}" if worker >= 0 else "a worker"
+            if pid is not None:
+                who += f" (pid {pid})"
+            message = f"{who} died while the query was in flight"
+        super().__init__(message)
+        self.worker = worker
+        self.pid = pid
 
 
 class StoreError(ReproError):

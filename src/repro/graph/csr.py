@@ -367,6 +367,38 @@ class CSRGraph(_FlatAdjacency):
         labels = array("i", [intern_label(vertex_labels[v]) for v in order])
         return cls(interner, offsets, neighbors, labels)
 
+    @classmethod
+    def attach(
+        cls,
+        order: Sequence[Vertex],
+        label_order: Sequence[Label],
+        offsets: Sequence[int],
+        neighbors: Sequence[int],
+        labels: Sequence[int],
+        coreness: Optional[Sequence[int]] = None,
+    ) -> "CSRGraph":
+        """Adopt ready-made CSR storage — the attach-from-buffer path.
+
+        The inverse of serializing a frozen snapshot: ``order`` and
+        ``label_order`` rebuild the interner (identity detection keeps
+        dense-int graphs dict-free), and the ``offsets`` / ``neighbors`` /
+        ``labels`` buffers — typically ``memoryview`` casts over an
+        ``mmap``-ed snapshot file or a ``multiprocessing.shared_memory``
+        block — become the canonical storage *without copying* through the
+        storage-injection constructor.  Kernel-facing flat lists
+        materialize lazily on first use, exactly as on the
+        :meth:`~repro.store.Snapshot.as_csr_graph` path.  A ``coreness``
+        sequence (when the producer already peeled) is materialized
+        eagerly so the first k-core query is an O(n) filter.
+        """
+        interner = VertexInterner(order)
+        for label in label_order:
+            interner.intern_label(label)
+        csr = cls(interner, offsets, neighbors, labels)
+        if coreness is not None:
+            csr._coreness = list(coreness)
+        return csr
+
     def thaw(self, dead: Optional[Set[int]] = None) -> LabeledGraph:
         """Rebuild a :class:`LabeledGraph`, dropping ids in ``dead``.
 

@@ -50,9 +50,10 @@ def bfs_distances(
     """
     if source not in graph:
         raise VertexNotFoundError(source)
-    if backend not in ("auto", "object", "csr"):
+    if backend not in ("auto", "object", "csr", "process"):
         raise ValueError(f"unknown backend {backend!r}")
-    if backend == "csr" or (backend == "auto" and graph.has_frozen()):
+    # "process" is the batch-transport backend; its in-process kernel is CSR.
+    if backend in ("csr", "process") or (backend == "auto" and graph.has_frozen()):
         from repro.graph.csr import csr_bfs_distances  # deferred: csr imports us
 
         frozen = graph.freeze()
@@ -105,9 +106,10 @@ def multi_source_bfs(
         Mapping of vertex to distance for all vertices reached, seeds
         included.
     """
-    if backend not in ("auto", "object", "csr"):
+    if backend not in ("auto", "object", "csr", "process"):
         raise ValueError(f"unknown backend {backend!r}")
-    if backend == "csr" or (backend == "auto" and graph.has_frozen()):
+    # "process" is the batch-transport backend; its in-process kernel is CSR.
+    if backend in ("csr", "process") or (backend == "auto" and graph.has_frozen()):
         from repro.graph.csr import csr_multi_source_bfs  # deferred import
 
         frozen = graph.freeze()

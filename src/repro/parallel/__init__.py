@@ -1,0 +1,54 @@
+"""Multi-process compute backend: shared-memory CSR workers.
+
+The GIL caps every pure-Python kernel at one core; this package breaks
+that ceiling for *batches* by exporting a frozen graph's CSR arrays into
+shared memory once and serving queries from N worker processes:
+
+* :mod:`repro.parallel.shm` — zero-copy graph transport
+  (:func:`export_graph` / :func:`attach_graph`, availability probing);
+* :mod:`repro.parallel.worker` — the worker-process loop, speaking the
+  wire codec;
+* :mod:`repro.parallel.pool` — :class:`ProcessWorkerPool`,
+  one-task-in-flight dispatch with deadlines, crash detection and
+  respawn;
+* :mod:`repro.parallel.process_engine` — :class:`ProcessEngine`, the
+  ``ServingEngine``-surface wrapper replica sets embed.
+
+Callers normally never touch this package directly: pass
+``backend="process"`` (or let ``backend="auto"`` pick it for large
+compute-bound batches) to ``BCCEngine.search_many`` /
+``ShardedBCCEngine.search_many``, or ``member_backend="process"`` to
+:class:`~repro.server.replicas.ReplicaSet`.
+"""
+
+from repro.parallel.pool import (
+    DEFAULT_PROCESS_WORKERS,
+    POOL_COUNTER_NAMES,
+    ProcessWorkerPool,
+    WorkerTaskError,
+)
+from repro.parallel.process_engine import ProcessEngine
+from repro.parallel.shm import (
+    GraphHandle,
+    ProcessBackendUnavailable,
+    SharedGraphExport,
+    WorkerAttachment,
+    attach_graph,
+    export_graph,
+    shared_memory_available,
+)
+
+__all__ = [
+    "DEFAULT_PROCESS_WORKERS",
+    "POOL_COUNTER_NAMES",
+    "GraphHandle",
+    "ProcessBackendUnavailable",
+    "ProcessEngine",
+    "ProcessWorkerPool",
+    "SharedGraphExport",
+    "WorkerAttachment",
+    "WorkerTaskError",
+    "attach_graph",
+    "export_graph",
+    "shared_memory_available",
+]

@@ -1,0 +1,688 @@
+"""The worker-process pool behind ``backend="process"``.
+
+:class:`ProcessWorkerPool` owns N worker processes, each serving the same
+shared graph (see :mod:`repro.parallel.shm`), and scatter-gathers batches
+across them with **one task in flight per worker**:
+
+* a worker gets its next task the moment its previous reply arrives, so
+  load balances dynamically (no up-front chunking to mis-size);
+* a task's deadline budget starts at its actual send time;
+* a crashed worker loses exactly the one task it was running — which the
+  pool converts into a position-aligned ``reason="worker-crashed"`` error
+  row (or :class:`~repro.exceptions.WorkerCrashedError` under
+  ``on_error="raise"``) and then **respawns the worker**, so the batch
+  always completes and the pool always returns to full strength.  Never
+  a hang: worker death is observed as pipe EOF by
+  :func:`multiprocessing.connection.wait`, and a *wedged* (alive but
+  silent) worker is bounded by the pool-side deadline watchdog —
+  ``deadline_ms`` plus a grace period — which kills and respawns it.
+
+Workers start through the ``spawn`` method by default: a forked child
+would inherit its siblings' pipe ends (defeating EOF-based death
+detection) and any lock a serving thread held at fork time.  ``spawn``
+children start clean; the shared-memory segments are attached by name,
+so zero-copy still holds.
+
+Clock hygiene (BCC002): wall-clock access is injectable — ``clock=`` is
+a constructor parameter defaulting to ``time.monotonic`` — so watchdog
+tests can drive virtual time.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as connection_wait
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.api.config import SearchConfig
+from repro.api.engine import error_response_for
+from repro.api.query import Query, SearchResponse
+from repro.exceptions import (
+    DeadlineExceededError,
+    QueryError,
+    ReproError,
+    UnknownMethodError,
+    VertexNotFoundError,
+    WorkerCrashedError,
+)
+from repro.parallel.shm import (
+    GraphHandle,
+    ProcessBackendUnavailable,
+    SharedGraphExport,
+    export_graph,
+)
+from repro.parallel.worker import worker_main
+from repro.server.protocol import (
+    decode_response,
+    encode_config,
+    encode_query,
+    json_dumps,
+    json_loads,
+)
+
+#: Default worker count for ``backend="process"`` batches.
+DEFAULT_PROCESS_WORKERS = 4
+
+#: Extra wall-clock (seconds) the pool-side watchdog grants a task beyond
+#: its ``deadline_ms`` before declaring the worker wedged.  The *accurate*
+#: deadline is enforced worker-side by ``run_with_deadline``; the watchdog
+#: only fires when the worker cannot even report the expiry (killed,
+#: stopped, or stuck in a kernel), so a little slack avoids double kills.
+DEFAULT_DEADLINE_GRACE_SECONDS = 0.5
+
+#: Seconds a closing pool waits for a worker to exit before terminating it.
+_SHUTDOWN_JOIN_SECONDS = 5.0
+
+#: Seconds a spawning pool waits for a worker's ready handshake (attach +
+#: thaw of the shared graph) before declaring the start failed.
+_READY_TIMEOUT_SECONDS = 120.0
+
+#: Pool-level counter names, in reporting order.
+POOL_COUNTER_NAMES = (
+    "batches",
+    "tasks",
+    "completed",
+    "error_rows",
+    "crashes",
+    "respawns",
+    "deadline_kills",
+    "stale_results",
+)
+
+
+class WorkerTaskError(ReproError):
+    """A worker reported an internal (non-caller) error for one task.
+
+    The original exception type only exists in the worker; this carries
+    its name and message across the process boundary.  Like every
+    non-caller error it always raises — ``on_error="return"`` does not
+    convert implementation bugs into error rows.
+    """
+
+    def __init__(self, message: str, exc_type: str = "Exception") -> None:
+        super().__init__(f"worker raised {exc_type}: {message}")
+        self.exc_type = exc_type
+
+
+def _rebuild_error(descriptor: Dict[str, object]) -> Exception:
+    """The parent-side exception for a worker error descriptor."""
+    kind = descriptor.get("kind")
+    message = str(descriptor.get("message", ""))
+    if kind == "deadline":
+        return DeadlineExceededError(deadline_ms=descriptor.get("deadline_ms"))
+    if kind == "vertex":
+        return VertexNotFoundError(descriptor.get("vertex"))
+    if kind == "unknown-method":
+        return UnknownMethodError(
+            descriptor.get("method", "?"), known=descriptor.get("known") or ()
+        )
+    if kind == "query":
+        return QueryError(message)
+    return WorkerTaskError(message, str(descriptor.get("type", "Exception")))
+
+
+@dataclass
+class _TaskSpec:
+    """One batch row: the query, its fully resolved config, optional pin."""
+
+    index: int
+    query: Query
+    config: Optional[SearchConfig]
+    pin: Optional[int] = None
+
+
+@dataclass
+class _Worker:
+    """Parent-side state of one worker process."""
+
+    index: int
+    process: object
+    conn: object
+    counters: Dict[str, int] = field(
+        default_factory=lambda: {
+            "dispatched": 0,
+            "completed": 0,
+            "errors": 0,
+            "crashes": 0,
+            "respawns": 0,
+        }
+    )
+    #: Last engine-counter snapshot the worker piggybacked on a reply
+    #: (stats never block on a busy worker).
+    engine_counters: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class _Inflight:
+    spec: _TaskSpec
+    task_id: int
+    deadline_at: Optional[float]
+
+
+class ProcessWorkerPool:
+    """N worker processes serving one shared graph.
+
+    Parameters
+    ----------
+    graph:
+        The graph to export (frozen on export if needed) — or ``None``
+        when ``export`` is given.
+    config:
+        Worker engines' base :class:`SearchConfig`; per-task configs are
+        resolved by the caller and shipped with each task.
+    workers:
+        Pool size.  Workers start lazily on the first batch (or eagerly
+        via :meth:`start`).
+    sharded:
+        Build worker-side :class:`ShardedBCCEngine` s, for shard-pinned
+        dispatch (see :meth:`run_batch`'s per-task ``pin``).
+    snapshot_path:
+        An existing ``.bccsnap`` file: workers ``mmap`` it directly and
+        no shared-memory blocks are created.
+    export:
+        A ready :class:`SharedGraphExport` to serve from (shared across
+        pools by :class:`~repro.server.replicas.ReplicaSet`); the pool
+        then does *not* own its lifetime.
+    fault_plan:
+        Optional chaos hook: ``on("pool.dispatch", worker=, pid=,
+        method=)`` runs right before each task is sent.
+    clock / deadline_grace_seconds:
+        Watchdog seam (see module docstring).
+    start_method:
+        ``multiprocessing`` start method (default ``"spawn"``; see module
+        docstring for why ``fork`` is not the default).
+    """
+
+    def __init__(
+        self,
+        graph=None,
+        config: Optional[SearchConfig] = None,
+        workers: int = DEFAULT_PROCESS_WORKERS,
+        *,
+        sharded: bool = False,
+        snapshot_path: Optional[str] = None,
+        export: Optional[SharedGraphExport] = None,
+        result_cache_size: int = 0,
+        fault_plan: Optional[object] = None,
+        clock=time.monotonic,
+        deadline_grace_seconds: float = DEFAULT_DEADLINE_GRACE_SECONDS,
+        start_method: str = "spawn",
+    ) -> None:
+        if workers < 1:
+            raise ValueError("a process pool needs at least one worker")
+        self.config = config if config is not None else SearchConfig()
+        self.fault_plan = fault_plan
+        self._clock = clock
+        self._grace = deadline_grace_seconds
+        self._ctx = multiprocessing.get_context(start_method)
+        self._workers_count = workers
+        if export is not None:
+            self._export = export
+            self._owns_export = False
+        else:
+            if graph is None:
+                raise ValueError("ProcessWorkerPool needs a graph or an export")
+            self._export = export_graph(
+                graph,
+                encode_config(self.config),
+                sharded=sharded,
+                snapshot_path=snapshot_path,
+                result_cache_size=result_cache_size,
+            )
+            self._owns_export = True
+        self._handle_text = json_dumps(self._export.handle.to_payload())
+        # One batch at a time per pool: dispatch state (queues, in-flight
+        # map) is method-local under this lock, so concurrent search_many
+        # calls serialize here instead of interleaving replies.
+        self._dispatch_lock = threading.Lock()
+        self._workers_lock = threading.Lock()
+        self._workers: List[_Worker] = []
+        self._started = False
+        self._closed = False
+        self._task_seq = 0
+        self._counters_lock = threading.Lock()
+        self._counters: Dict[str, int] = {name: 0 for name in POOL_COUNTER_NAMES}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def handle(self) -> GraphHandle:
+        return self._export.handle
+
+    @property
+    def workers(self) -> int:
+        return self._workers_count
+
+    def _spawn(self, index: int) -> _Worker:
+        """Start worker ``index`` and wait for its ready handshake."""
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(index, child_conn, self._handle_text),
+            name=f"bcc-worker-{index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()  # the child's end lives in the child now
+        try:
+            if not parent_conn.poll(_READY_TIMEOUT_SECONDS):
+                process.terminate()
+                process.join(timeout=_SHUTDOWN_JOIN_SECONDS)
+                raise ProcessBackendUnavailable(
+                    f"worker {index} did not report ready within "
+                    f"{_READY_TIMEOUT_SECONDS:g}s"
+                )
+            ready = json_loads(parent_conn.recv())
+        except (EOFError, OSError) as exc:
+            process.join(timeout=_SHUTDOWN_JOIN_SECONDS)
+            raise ProcessBackendUnavailable(
+                f"worker {index} died before reporting ready"
+            ) from exc
+        if not ready.get("ready"):
+            process.join(timeout=_SHUTDOWN_JOIN_SECONDS)
+            raise ProcessBackendUnavailable(
+                f"worker {index} failed to attach: {ready.get('error')}"
+            )
+        return _Worker(index=index, process=process, conn=parent_conn)
+
+    def start(self) -> "ProcessWorkerPool":
+        """Start every worker (idempotent); returns ``self``."""
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        with self._workers_lock:
+            if self._started:
+                return self
+            spawned = [self._spawn(index) for index in range(self._workers_count)]
+            self._workers = spawned
+            self._started = True
+        return self
+
+    def is_started(self) -> bool:
+        with self._workers_lock:
+            return self._started and not self._closed
+
+    def worker_pids(self) -> List[int]:
+        """Live worker pids, in worker order (chaos tests kill by pid)."""
+        with self._workers_lock:
+            return [worker.process.pid for worker in self._workers]
+
+    def close(self) -> None:
+        """Shut workers down, release pipes, unlink an owned export."""
+        if self._closed:
+            return
+        self._closed = True
+        with self._workers_lock:
+            workers = list(self._workers)
+            self._workers = []
+            self._started = False
+        for worker in workers:
+            try:
+                worker.conn.send(json_dumps({"op": "shutdown"}))
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in workers:
+            worker.process.join(timeout=_SHUTDOWN_JOIN_SECONDS)
+            if worker.process.is_alive():  # pragma: no cover - wedged worker
+                worker.process.terminate()
+                worker.process.join(timeout=_SHUTDOWN_JOIN_SECONDS)
+            try:
+                worker.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        if self._owns_export:
+            self._export.close()
+
+    def __enter__(self) -> "ProcessWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # counters / stats
+    # ------------------------------------------------------------------
+    def _count(self, name: str, amount: int = 1) -> None:
+        with self._counters_lock:
+            self._counters[name] += amount
+
+    def _count_worker(self, worker: _Worker, name: str) -> None:
+        # Worker counter dicts are reached through the worker object, but
+        # share the counters lock so stats() never reads a torn value.
+        with self._counters_lock:
+            worker.counters[name] += 1
+
+    def counters_snapshot(self) -> Dict[str, int]:
+        with self._counters_lock:
+            return dict(self._counters)
+
+    def stats(self) -> Dict[str, object]:
+        """The ``/stats`` block: pool counters + one block per worker."""
+        with self._workers_lock:
+            workers = list(self._workers)
+        blocks = []
+        with self._counters_lock:
+            counters = dict(self._counters)
+            for worker in workers:
+                blocks.append(
+                    {
+                        "worker": worker.index,
+                        "pid": worker.process.pid,
+                        "alive": worker.process.is_alive(),
+                        **dict(worker.counters),
+                        "engine": dict(worker.engine_counters),
+                    }
+                )
+        return {"size": self._workers_count, "counters": counters, "workers": blocks}
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def _next_task_id(self) -> int:
+        self._task_seq += 1  # only under _dispatch_lock
+        return self._task_seq
+
+    def _replace_worker(self, stale: _Worker) -> _Worker:
+        """Respawn a dead/killed worker in its slot (counts the respawn)."""
+        try:
+            stale.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        if stale.process.is_alive():  # watchdog kill: wedged but alive
+            stale.process.terminate()
+        stale.process.join(timeout=_SHUTDOWN_JOIN_SECONDS)
+        fresh = self._spawn(stale.index)
+        fresh.counters = dict(stale.counters)
+        fresh.engine_counters = {}
+        with self._workers_lock:
+            for slot, current in enumerate(self._workers):
+                if current is stale:
+                    self._workers[slot] = fresh
+                    break
+        self._count("respawns")
+        self._count_worker(fresh, "respawns")
+        return fresh
+
+    def _send_task(
+        self, worker: _Worker, spec: _TaskSpec, task_id: int, use_cache: bool
+    ) -> bool:
+        """Send one task; ``False`` when the worker's pipe is broken."""
+        if self.fault_plan is not None:
+            self.fault_plan.on(
+                "pool.dispatch",
+                worker=worker.index,
+                pid=worker.process.pid,
+                method=spec.query.method,
+            )
+        message = {
+            "op": "search",
+            "task": task_id,
+            "query": encode_query(spec.query),
+            "config": encode_config(spec.config),
+            "use_cache": use_cache,
+        }
+        try:
+            worker.conn.send(json_dumps(message))
+        except (BrokenPipeError, OSError):
+            return False
+        self._count_worker(worker, "dispatched")
+        return True
+
+    def run_batch(
+        self,
+        specs: Sequence[Tuple[Query, Optional[SearchConfig], Optional[int]]],
+        *,
+        on_error: str = "return",
+        use_cache: bool = True,
+    ) -> List[SearchResponse]:
+        """Scatter-gather one batch; position-aligned results.
+
+        ``specs`` rows are ``(query, resolved_config, pin)`` — the caller
+        (the engine layer) has already applied config precedence;
+        ``pin`` routes a task to one worker index (shard pinning) or
+        ``None`` for any free worker.
+
+        Error policy mirrors :func:`repro.api.engine.serve_batch`: caller
+        errors, expired deadlines and worker crashes become error rows
+        under ``on_error="return"``; internal worker errors always raise;
+        under ``"raise"`` the earliest-position failure is raised after
+        the rest of the batch drains (workers are never abandoned with
+        tasks in flight).
+        """
+        tasks = [
+            _TaskSpec(index=i, query=query, config=config, pin=pin)
+            for i, (query, config, pin) in enumerate(specs)
+        ]
+        if not tasks:
+            return []
+        with self._dispatch_lock:
+            if self._closed:
+                raise RuntimeError("pool is closed")
+            self.start()
+            return self._run_batch_locked(tasks, on_error, use_cache)
+
+    def _run_batch_locked(
+        self, tasks: List[_TaskSpec], on_error: str, use_cache: bool
+    ) -> List[SearchResponse]:
+        self._count("batches")
+        self._count("tasks", len(tasks))
+        with self._workers_lock:
+            workers: List[_Worker] = list(self._workers)
+        n = len(workers)
+        pinned: List[deque] = [deque() for _ in range(n)]
+        shared: deque = deque()
+        for spec in tasks:
+            if spec.pin is None:
+                shared.append(spec)
+            else:
+                pinned[spec.pin % n].append(spec)
+        results: List[Optional[SearchResponse]] = [None] * len(tasks)
+        failures: List[Tuple[int, Exception]] = []
+        inflight: Dict[int, _Inflight] = {}
+        remaining = len(tasks)
+
+        def record_failure(spec: _TaskSpec, exc: Exception) -> None:
+            nonlocal remaining
+            remaining -= 1
+            row_able = isinstance(
+                exc, (QueryError, DeadlineExceededError, WorkerCrashedError)
+            ) or (
+                isinstance(exc, VertexNotFoundError)
+                and getattr(exc, "vertex", None) in spec.query.vertices
+            )
+            if on_error == "return" and row_able:
+                results[spec.index] = error_response_for(spec.query, exc)
+                self._count("error_rows")
+            else:
+                failures.append((spec.index, exc))
+
+        def record_result(spec: _TaskSpec, response: SearchResponse) -> None:
+            nonlocal remaining
+            remaining -= 1
+            results[spec.index] = response
+            self._count("completed")
+
+        def feed(slot: int) -> None:
+            """Keep sending ``slot`` its next task until one sticks."""
+            while slot not in inflight:
+                queue = pinned[slot] if pinned[slot] else shared
+                if not queue:
+                    return
+                spec = queue.popleft()
+                task_id = self._next_task_id()
+                worker = workers[slot]
+                deadline = deadline_seconds_for_config(spec.config)
+                if self._send_task(worker, spec, task_id, use_cache):
+                    inflight[slot] = _Inflight(
+                        spec=spec,
+                        task_id=task_id,
+                        deadline_at=(
+                            self._clock() + deadline + self._grace
+                            if deadline is not None
+                            else None
+                        ),
+                    )
+                    return
+                # Broken pipe at send: the worker died idle.  Respawn and
+                # retry this same task once on the fresh worker (it never
+                # started running, so resending cannot double-execute).
+                self._count("crashes")
+                self._count_worker(worker, "crashes")
+                workers[slot] = self._replace_worker(worker)
+                if self._send_task(workers[slot], spec, task_id, use_cache):
+                    inflight[slot] = _Inflight(
+                        spec=spec,
+                        task_id=task_id,
+                        deadline_at=(
+                            self._clock() + deadline + self._grace
+                            if deadline is not None
+                            else None
+                        ),
+                    )
+                    return
+                record_failure(
+                    spec,
+                    WorkerCrashedError(worker=slot, pid=workers[slot].process.pid),
+                )
+
+        def lose_inflight(slot: int, exc: Exception, counter: str) -> None:
+            """The task in flight on ``slot`` is gone; its worker too."""
+            entry = inflight.pop(slot)
+            worker = workers[slot]
+            self._count(counter)
+            self._count_worker(worker, "crashes" if counter == "crashes" else "errors")
+            workers[slot] = self._replace_worker(worker)
+            record_failure(entry.spec, exc)
+
+        for slot in range(n):
+            feed(slot)
+        while remaining > 0:
+            now = self._clock()
+            timeout: Optional[float] = None
+            for entry in inflight.values():
+                if entry.deadline_at is not None:
+                    margin = max(0.0, entry.deadline_at - now)
+                    timeout = margin if timeout is None else min(timeout, margin)
+            conn_slots = {
+                id(workers[slot].conn): slot for slot in inflight
+            }
+            ready = connection_wait(
+                [workers[slot].conn for slot in inflight], timeout=timeout
+            )
+            for conn in ready:
+                slot = conn_slots[id(conn)]
+                worker = workers[slot]
+                try:
+                    reply = json_loads(conn.recv())
+                except (EOFError, OSError):
+                    # Pipe EOF: the worker died with this task in flight.
+                    lose_inflight(
+                        slot,
+                        WorkerCrashedError(worker=slot, pid=worker.process.pid),
+                        "crashes",
+                    )
+                    feed(slot)
+                    continue
+                entry = inflight.get(slot)
+                if entry is None or reply.get("task") != entry.task_id:
+                    self._count("stale_results")
+                    continue
+                del inflight[slot]
+                if isinstance(reply.get("counters"), dict):
+                    with self._counters_lock:
+                        worker.engine_counters = dict(reply["counters"])
+                if reply.get("ok"):
+                    record_result(entry.spec, decode_response(reply["response"]))
+                    self._count_worker(worker, "completed")
+                else:
+                    self._count_worker(worker, "errors")
+                    record_failure(entry.spec, _rebuild_error(reply["error"]))
+                feed(slot)
+            # Watchdog: tasks whose pool-side deadline lapsed without a
+            # reply are lost to a wedged worker — kill it, row the task.
+            now = self._clock()
+            for slot in list(inflight):
+                entry = inflight[slot]
+                if entry.deadline_at is not None and now >= entry.deadline_at:
+                    deadline = deadline_seconds_for_config(entry.spec.config)
+                    lose_inflight(
+                        slot,
+                        DeadlineExceededError(
+                            deadline_ms=(
+                                deadline * 1000.0 if deadline is not None else None
+                            )
+                        ),
+                        "deadline_kills",
+                    )
+                    feed(slot)
+        if failures:
+            failures.sort(key=lambda pair: pair[0])
+            raise failures[0][1]
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # single-query conveniences (the ProcessEngine surface uses these)
+    # ------------------------------------------------------------------
+    def run_one(
+        self,
+        query: Query,
+        config: Optional[SearchConfig] = None,
+        *,
+        use_cache: bool = True,
+        pin: Optional[int] = None,
+    ) -> SearchResponse:
+        """One query through the pool; raises exactly like ``search``."""
+        return self.run_batch(
+            [(query, config, pin)], on_error="raise", use_cache=use_cache
+        )[0]
+
+    def explain(self, query: Query, config: Optional[SearchConfig] = None):
+        """``engine.explain`` proxied into worker 0."""
+        with self._dispatch_lock:
+            if self._closed:
+                raise RuntimeError("pool is closed")
+            self.start()
+            with self._workers_lock:
+                worker = self._workers[0]
+            task_id = self._next_task_id()
+            message = {
+                "op": "explain",
+                "task": task_id,
+                "query": encode_query(query),
+                "config": encode_config(config),
+            }
+            try:
+                worker.conn.send(json_dumps(message))
+                while True:
+                    reply = json_loads(worker.conn.recv())
+                    if reply.get("task") == task_id:
+                        break
+                    self._count("stale_results")
+            except (BrokenPipeError, EOFError, OSError):
+                self._count("crashes")
+                self._count_worker(worker, "crashes")
+                self._replace_worker(worker)
+                raise WorkerCrashedError(worker=worker.index)
+            if reply.get("ok"):
+                return reply["explain"]
+            raise _rebuild_error(reply["error"])
+
+
+def deadline_seconds_for_config(config: Optional[SearchConfig]) -> Optional[float]:
+    """The resolved config's deadline in seconds (``None`` = no deadline)."""
+    if config is None:
+        return None
+    deadline_ms = config.deadline_ms
+    return None if deadline_ms is None else deadline_ms / 1000.0
+
+
+__all__ = [
+    "DEFAULT_PROCESS_WORKERS",
+    "POOL_COUNTER_NAMES",
+    "ProcessWorkerPool",
+    "WorkerTaskError",
+]

@@ -1,0 +1,220 @@
+"""A ``ServingEngine``-surface wrapper over a :class:`ProcessWorkerPool`.
+
+:class:`ProcessEngine` makes a worker pool quack like a
+:class:`~repro.api.engine.BCCEngine`: ``search`` / ``search_many`` /
+``explain`` / ``counters_snapshot`` / ``stats``, so the serving layers
+that dispatch on that surface — most importantly
+:class:`~repro.server.replicas.ReplicaSet`, which gains process-backed
+members through it — compose without special cases.
+
+Failure semantics at the replica seam: a member whose worker dies raises
+:class:`~repro.exceptions.WorkerCrashedError`, which
+:func:`~repro.api.engine.is_caller_error` classifies as a *replica*
+failure — the set fails over and the health breaker records it.  The
+pool has already respawned the worker by then, so the breaker's next
+probe hits a healthy member and re-admits it: exactly the PR 6 lifecycle,
+with a process crash instead of an injected fault.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.api.config import SearchConfig
+from repro.api.query import BatchQuery, Query, SearchResponse
+from repro.exceptions import QueryError
+from repro.parallel.pool import DEFAULT_PROCESS_WORKERS, ProcessWorkerPool
+from repro.parallel.shm import SharedGraphExport
+
+
+class ProcessEngine:
+    """Serve one graph entirely from worker processes.
+
+    Parameters mirror :class:`~repro.api.engine.BCCEngine` where they
+    apply; ``workers`` sizes the pool and ``export`` lets several engines
+    (e.g. replica-set members) share one shared-memory graph export.  The
+    engine owns its pool — :meth:`close` shuts the workers down — but
+    never an export it was handed.
+    """
+
+    def __init__(
+        self,
+        graph=None,
+        config: Optional[SearchConfig] = None,
+        *,
+        workers: int = DEFAULT_PROCESS_WORKERS,
+        export: Optional[SharedGraphExport] = None,
+        snapshot_path: Optional[str] = None,
+        result_cache_size: int = 0,
+        fault_plan: Optional[object] = None,
+        clock=time.monotonic,
+        start_method: str = "spawn",
+    ) -> None:
+        self.graph = graph
+        self.config = config if config is not None else SearchConfig()
+        self._pool = ProcessWorkerPool(
+            graph,
+            self.config,
+            workers,
+            export=export,
+            snapshot_path=snapshot_path,
+            result_cache_size=result_cache_size,
+            fault_plan=fault_plan,
+            clock=clock,
+            start_method=start_method,
+        )
+
+    @property
+    def pool(self) -> ProcessWorkerPool:
+        return self._pool
+
+    # ------------------------------------------------------------------
+    # ServingEngine surface
+    # ------------------------------------------------------------------
+    def prepare(self) -> "ProcessEngine":
+        """Start the workers (idempotent) so the first query serves warm."""
+        self._pool.start()
+        return self
+
+    def is_prepared(self) -> bool:
+        return self._pool.is_started()
+
+    def _resolve_config(self, query: Query, override: Optional[SearchConfig]):
+        if override is not None:
+            return override
+        if query.config is not None:
+            return query.config
+        return self.config
+
+    def search(
+        self,
+        query: Query,
+        *,
+        config: Optional[SearchConfig] = None,
+        instrumentation: Optional[object] = None,
+        use_cache: bool = True,
+    ) -> SearchResponse:
+        """One query through the pool (raises exactly like ``BCCEngine``).
+
+        ``instrumentation`` cannot cross the process boundary — the wire
+        codec deliberately does not marshal live counter objects — so a
+        caller that needs it must use an in-process engine.
+        """
+        if instrumentation is not None:
+            raise QueryError(
+                "the process backend cannot fill caller-supplied "
+                "instrumentation; use an in-process engine for instrumented runs"
+            )
+        return self._pool.run_one(
+            query, self._resolve_config(query, config), use_cache=use_cache
+        )
+
+    def search_many(
+        self,
+        queries: Union[BatchQuery, Iterable[Query]],
+        *,
+        config: Optional[SearchConfig] = None,
+        instrumentation: Optional[object] = None,
+        on_error: str = "raise",
+        max_workers: int = 1,
+        use_cache: bool = True,
+    ) -> List[SearchResponse]:
+        """Batch dispatch through the pool, with ``serve_batch`` semantics.
+
+        Validation and config precedence (call > query > batch > engine)
+        match :func:`repro.api.engine.serve_batch` exactly; dispatch —
+        including per-row deadlines — happens pool-side.  ``max_workers``
+        is accepted for surface compatibility; parallelism is the pool's
+        worker count.
+        """
+        if instrumentation is not None:
+            raise QueryError(
+                "the process backend cannot fill caller-supplied "
+                "instrumentation; use an in-process engine for instrumented runs"
+            )
+        if on_error not in ("raise", "return"):
+            raise QueryError(
+                f"unknown on_error policy {on_error!r}; known: ('raise', 'return')"
+            )
+        if max_workers < 1:
+            raise QueryError("max_workers must be >= 1")
+        batch_config: Optional[SearchConfig] = None
+        if isinstance(queries, BatchQuery):
+            batch_config = queries.config
+            items = list(queries)
+        else:
+            items = list(BatchQuery(queries=tuple(queries)).queries)
+        specs = []
+        for query in items:
+            if config is not None:
+                resolved = config
+            elif query.config is not None:
+                resolved = query.config
+            elif batch_config is not None:
+                resolved = batch_config
+            else:
+                resolved = self.config
+            specs.append((query, resolved, None))
+        return self._pool.run_batch(specs, on_error=on_error, use_cache=use_cache)
+
+    def explain(
+        self, query: Query, *, config: Optional[SearchConfig] = None
+    ) -> Dict[str, object]:
+        return self._pool.explain(query, self._resolve_config(query, config))
+
+    # ------------------------------------------------------------------
+    # stats surface
+    # ------------------------------------------------------------------
+    def counters_snapshot(self) -> Dict[str, int]:
+        """Engine counters aggregated across workers (last piggybacked)."""
+        from repro.serving.stats import aggregate_counters, zero_engine_counters
+
+        stats = self._pool.stats()
+        parts = [
+            block["engine"] for block in stats["workers"] if block.get("engine")
+        ]
+        counters = aggregate_counters([zero_engine_counters(), *parts])
+        return counters
+
+    def result_cache_info(self) -> Dict[str, object]:
+        """Worker-side caches cannot be inspected without a round-trip."""
+        counters = self.counters_snapshot()
+        hits = counters.get("result_cache_hits", 0)
+        misses = counters.get("result_cache_misses", 0)
+        lookups = hits + misses
+        return {
+            "capacity": None,
+            "entries": None,
+            "entries_per_method": {},
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": (hits / lookups) if lookups else None,
+            "policy": None,
+        }
+
+    def worker_stats(self) -> Dict[str, object]:
+        """The pool's ``/stats`` block (size, counters, per-worker rows)."""
+        return self._pool.stats()
+
+    def worker_pids(self) -> List[int]:
+        return self._pool.worker_pids()
+
+    def has_index(self) -> bool:
+        """Index state lives worker-side; report from piggybacked counters."""
+        return self.counters_snapshot().get("index_builds", 0) > 0
+
+    def close(self) -> None:
+        self._pool.close()
+
+    def __enter__(self) -> "ProcessEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ProcessEngine(workers={self._pool.workers}, "
+            f"started={self._pool.is_started()})"
+        )

@@ -1,0 +1,236 @@
+"""The worker-process entry point of the multi-process compute backend.
+
+:func:`worker_main` is a top-level importable function (a requirement of
+the ``spawn`` start method) that attaches the shared graph, builds a
+local serving engine and answers tasks from its pipe until told to stop.
+Every message in both directions is a JSON document produced and parsed
+by the wire codec (:mod:`repro.server.protocol`) — the same marshalling
+the HTTP gateway speaks, so responses round-trip with exactly the same
+fidelity guarantees (sorted vertex sets, ``inf`` encoding, NaN refusal).
+
+Protocol (parent -> worker)::
+
+    {"op": "search", "task": int, "query": <wire query>,
+     "config": <wire config> | null, "use_cache": bool}
+    {"op": "explain", "task": int, "query": ..., "config": ...}
+    {"op": "stats", "task": int}
+    {"op": "shutdown"}
+
+Worker -> parent replies carry the task id, an ``ok`` flag, either a
+wire-encoded response or a structured error descriptor (enough for the
+parent to re-raise the exact caller error), and a piggybacked snapshot of
+the worker engine's counters, so ``/stats`` never needs a blocking
+round-trip into a busy worker.
+
+Failure discipline: a *caller* error (malformed query, missing query
+vertex, unknown method, expired deadline) is classified worker-side with
+the same :func:`~repro.api.engine.is_caller_error` rule the threaded path
+applies, shipped as a descriptor and re-raised or row-ified in the
+parent.  An *internal* error is reported as ``kind="internal"`` — the
+parent always raises those, exactly like the threaded path.  The worker
+never dies on a query error; only a kill / crash ends the loop, which the
+parent observes as pipe EOF.
+
+Clock hygiene (BCC002 covers this package): the only clock in this file
+is the deadline enforcement delegated to
+:func:`~repro.api.engine.run_with_deadline`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.api.config import SearchConfig
+from repro.api.engine import (
+    BCCEngine,
+    deadline_seconds_for,
+    is_caller_error,
+    run_with_deadline,
+)
+from repro.exceptions import (
+    DeadlineExceededError,
+    QueryError,
+    UnknownMethodError,
+    VertexNotFoundError,
+)
+from repro.parallel.shm import GraphHandle, attach_graph
+from repro.server.protocol import (
+    decode_config,
+    decode_query,
+    encode_response,
+    json_dumps,
+    json_loads,
+    jsonable,
+)
+
+#: Error kinds a worker reports; the parent rebuilds the matching
+#: exception type from this tag (never by parsing messages).
+ERROR_KINDS = ("query", "vertex", "unknown-method", "deadline", "internal")
+
+
+def _classify_error(query, exc: Exception) -> Dict[str, object]:
+    """A JSON-safe descriptor from which the parent re-raises ``exc``."""
+    message = exc.args[0] if exc.args and isinstance(exc.args[0], str) else str(exc)
+    descriptor: Dict[str, object] = {"message": message, "caller": False}
+    if isinstance(exc, DeadlineExceededError):
+        descriptor["kind"] = "deadline"
+        descriptor["caller"] = True
+        descriptor["deadline_ms"] = exc.deadline_ms
+    elif isinstance(exc, VertexNotFoundError):
+        descriptor["kind"] = "vertex"
+        vertex = getattr(exc, "vertex", None)
+        descriptor["vertex"] = vertex if isinstance(vertex, (int, str)) else str(vertex)
+        descriptor["caller"] = is_caller_error(query, exc)
+    elif isinstance(exc, UnknownMethodError):
+        descriptor["kind"] = "unknown-method"
+        descriptor["method"] = str(getattr(exc, "method", ""))
+        # Ship the known-method list so the parent-side rebuild produces
+        # the *identical* message the threaded path would — error rows
+        # are part of the value-for-value parity surface.
+        descriptor["known"] = [str(k) for k in getattr(exc, "known", ())]
+        descriptor["caller"] = True
+    elif isinstance(exc, QueryError):
+        descriptor["kind"] = "query"
+        descriptor["caller"] = True
+    else:
+        descriptor["kind"] = "internal"
+        descriptor["type"] = type(exc).__name__
+    return descriptor
+
+
+def _build_engine(handle: GraphHandle, attachment) -> object:
+    """The worker-local serving engine the handle asks for."""
+    config = decode_config(handle.config)
+    if config is None:
+        config = SearchConfig()
+    # Worker-side kernels must not recurse into another pool: the batch
+    # transport decision was made in the parent, so the worker serves the
+    # same queries through the plain CSR fast path.
+    if config.backend == "process":
+        config = config.replace(backend="csr")
+    if handle.sharded:
+        from repro.serving.sharded import ShardedBCCEngine  # deferred import
+
+        return ShardedBCCEngine(
+            attachment.graph,
+            config,
+            result_cache_size=handle.result_cache_size,
+        )
+    if attachment.snapshot is not None:
+        from repro.store.snapshot import StoredBCIndex  # deferred import
+
+        engine = BCCEngine(
+            attachment.graph,
+            config,
+            index=StoredBCIndex(
+                attachment.graph, attachment.snapshot, backend=config.backend
+            ),
+            result_cache_size=handle.result_cache_size,
+        )
+        return engine.prepare()
+    return BCCEngine(
+        attachment.graph, config, result_cache_size=handle.result_cache_size
+    ).prepare()
+
+
+def _counters(engine) -> Dict[str, int]:
+    return engine.counters_snapshot()
+
+
+def _serve_search(engine, message: Dict[str, object]) -> Dict[str, object]:
+    """Run one search under its (already resolved) config and deadline."""
+    query = decode_query(message["query"])
+    config = decode_config(message.get("config"))
+    use_cache = bool(message.get("use_cache", True))
+    deadline = deadline_seconds_for(config, getattr(engine, "config", None))
+    try:
+        response = run_with_deadline(
+            lambda: engine.search(query, config=config, use_cache=use_cache),
+            deadline,
+            what=f"worker:{query.method}",
+        )
+        return {
+            "task": message["task"],
+            "ok": True,
+            "response": encode_response(response),
+        }
+    except Exception as exc:  # descriptor'd and re-raised parent-side
+        return {
+            "task": message["task"],
+            "ok": False,
+            "error": _classify_error(query, exc),
+        }
+
+
+def worker_main(worker_id: int, conn, handle_text: str) -> None:
+    """Attach, build, then serve tasks until shutdown or pipe EOF.
+
+    Any failure *before* the ready message (attach error, bad handle) is
+    reported as a ``ready: false`` message so the parent can raise a
+    clear error instead of diagnosing a silent exit.
+    """
+    try:
+        handle = GraphHandle.from_payload(json_loads(handle_text))
+        attachment = attach_graph(handle)
+        engine = _build_engine(handle, attachment)
+    except Exception as exc:  # surfaced parent-side at spawn
+        try:
+            conn.send(
+                json_dumps(
+                    {"ready": False, "worker": worker_id, "error": str(exc)}
+                )
+            )
+        finally:
+            conn.close()
+        return
+    conn.send(json_dumps({"ready": True, "worker": worker_id}))
+    while True:
+        try:
+            text = conn.recv()
+        except (EOFError, OSError):  # parent went away
+            break
+        message = json_loads(text)
+        op = message.get("op")
+        if op == "shutdown":
+            break
+        if op == "search":
+            reply = _serve_search(engine, message)
+        elif op == "explain":
+            query = decode_query(message["query"])
+            config = decode_config(message.get("config"))
+            try:
+                reply = {
+                    "task": message["task"],
+                    "ok": True,
+                    "explain": jsonable(engine.explain(query, config=config)),
+                }
+            except Exception as exc:
+                reply = {
+                    "task": message["task"],
+                    "ok": False,
+                    "error": _classify_error(query, exc),
+                }
+        elif op == "stats":
+            reply = {"task": message["task"], "ok": True}
+        else:
+            reply = {
+                "task": message.get("task", -1),
+                "ok": False,
+                "error": {
+                    "kind": "internal",
+                    "caller": False,
+                    "message": f"unknown worker op {op!r}",
+                },
+            }
+        reply["counters"] = _counters(engine)
+        try:
+            conn.send(json_dumps(reply))
+        except (BrokenPipeError, OSError):  # parent went away mid-reply
+            break
+    conn.close()
+    # Drop every engine/graph reference to the mapped storage before
+    # releasing the views, so the SharedMemory blocks can close their
+    # mappings without "exported pointers exist" noise at exit.
+    del engine
+    attachment.graph._frozen = None
+    attachment.release()

@@ -95,6 +95,15 @@ class ReplicaSet:
     clock:
         Monotonic clock driving the breakers' ejection windows — injectable
         so chaos tests advance time without sleeping.
+    member_backend:
+        ``"thread"`` (default) builds in-process engines.  ``"process"``
+        builds each member as a :class:`repro.parallel.ProcessEngine`
+        with one worker process, every member attached to **one** shared
+        graph export — N members map the CSR arrays N times but copy them
+        zero times — so a member crash is a real process death the health
+        breaker ejects and the pool respawns behind it.  When shared
+        memory is unavailable the set degrades to thread members with a
+        one-time warning.  Process-backed sets should be :meth:`close`\\ d.
 
     The set itself adds no new thread-safety requirements: routing state is
     a small in-flight table under one lock, breakers carry their own locks,
@@ -113,25 +122,42 @@ class ReplicaSet:
         health_policy: Optional[HealthPolicy] = None,
         fault_plan: Optional[object] = None,
         clock: Callable[[], float] = time.monotonic,
+        member_backend: str = "thread",
     ) -> None:
         if replicas < 1:
             raise ValueError("a replica set needs at least one replica")
+        if member_backend not in ("thread", "process"):
+            raise ValueError(
+                f"unknown member_backend {member_backend!r}; "
+                "known: ('thread', 'process')"
+            )
         if not isinstance(graph, LabeledGraph):
             graph = getattr(graph, "graph", graph)
         if not isinstance(graph, LabeledGraph):
             raise TypeError(f"expected a LabeledGraph or bundle, got {type(graph)!r}")
         self.graph: LabeledGraph = graph
         self.config: SearchConfig = config if config is not None else SearchConfig()
-        engine_type = ShardedBCCEngine if sharded else BCCEngine
-        self._engines: List[Union[BCCEngine, ShardedBCCEngine]] = [
-            engine_type(
-                graph,
-                self.config,
-                result_cache_size=result_cache_size,
-                result_cache_policy=result_cache_policy,
+        self._export: Optional[object] = None  # shared graph export (process)
+        engines: Optional[List[object]] = None
+        if member_backend == "process":
+            engines = self._build_process_members(
+                replicas, sharded, result_cache_size
             )
-            for _ in range(replicas)
-        ]
+            if engines is None:  # graceful degrade: thread members
+                member_backend = "thread"
+        if engines is None:
+            engine_type = ShardedBCCEngine if sharded else BCCEngine
+            engines = [
+                engine_type(
+                    graph,
+                    self.config,
+                    result_cache_size=result_cache_size,
+                    result_cache_policy=result_cache_policy,
+                )
+                for _ in range(replicas)
+            ]
+        self._engines: List[object] = engines
+        self._member_backend = member_backend
         self._sharded = sharded
         self._fault_plan = fault_plan
         self.health_policy = (
@@ -149,6 +175,65 @@ class ReplicaSet:
         self._latency: List[LatencyHistogram] = [
             LatencyHistogram() for _ in range(replicas)
         ]
+
+    # ------------------------------------------------------------------
+    # process-backed members
+    # ------------------------------------------------------------------
+    def _build_process_members(
+        self, replicas: int, sharded: bool, result_cache_size: int
+    ) -> Optional[List[object]]:
+        """N one-worker process engines over one shared export, or ``None``.
+
+        ``None`` means the substrate is unavailable; the caller degrades
+        to thread members (one-time warning, never an error).
+        """
+        from repro.api.engine import _warn_process_fallback_once
+        from repro.parallel.process_engine import ProcessEngine
+        from repro.parallel.shm import ProcessBackendUnavailable, export_graph
+        from repro.server.protocol import encode_config
+
+        try:
+            export = export_graph(
+                self.graph,
+                encode_config(self.config),
+                sharded=sharded,
+                result_cache_size=result_cache_size,
+            )
+        except ProcessBackendUnavailable as exc:
+            _warn_process_fallback_once(str(exc))
+            return None
+        self._export = export
+        return [
+            ProcessEngine(self.graph, self.config, workers=1, export=export)
+            for _ in range(replicas)
+        ]
+
+    @property
+    def member_backend(self) -> str:
+        """``"thread"`` or ``"process"`` — what the members actually are."""
+        return self._member_backend
+
+    def close(self) -> None:
+        """Shut down process-backed members and the shared export.
+
+        Idempotent and safe on thread-member sets (where it also tears
+        down any lazy per-member process pools).
+        """
+        for engine in self._engines:
+            closer = getattr(engine, "close", None)
+            if closer is None:
+                closer = getattr(engine, "close_process_pool", None)
+            if closer is not None:
+                closer()
+        if self._export is not None:
+            self._export.close()
+            self._export = None
+
+    def __enter__(self) -> "ReplicaSet":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # routing
@@ -431,7 +516,8 @@ class ReplicaSet:
                 cache_hits += int(cache_info.get("hits", 0))
                 cache_misses += int(cache_info.get("misses", 0))
                 cache_entries += int(cache_info.get("entries", 0))
-            else:  # sharded replica: reuse its own aggregated snapshot
+            elif isinstance(engine, ShardedBCCEngine):
+                # sharded replica: reuse its own aggregated snapshot
                 shard_stats = engine.stats(name=f"{name}/replica{replica_id}")
                 block = {
                     "replica": replica_id,
@@ -445,6 +531,25 @@ class ReplicaSet:
                 cache_hits += int(shard_stats.cache.get("hits", 0))
                 cache_misses += int(shard_stats.cache.get("misses", 0))
                 cache_entries += int(shard_stats.cache.get("entries", 0))
+            else:
+                # process-backed member: engine counters ride in on the
+                # workers' piggybacked snapshots (never a blocking
+                # round-trip); cache entry counts live worker-side only.
+                cache_info = engine.result_cache_info()
+                block = {
+                    "replica": replica_id,
+                    "routed": routed[replica_id],
+                    "in_flight": in_flight[replica_id],
+                    "prepared": engine.is_prepared(),
+                    "index_built": engine.has_index(),
+                    "counters": engine.counters_snapshot(),
+                    "cache": cache_info,
+                    "workers": engine.worker_stats(),
+                    "health": self._health[replica_id].snapshot(),
+                }
+                cache_hits += int(cache_info.get("hits", 0) or 0)
+                cache_misses += int(cache_info.get("misses", 0) or 0)
+                cache_entries += int(cache_info.get("entries", 0) or 0)
             blocks.append(block)
         lookups = cache_hits + cache_misses
         return ServingStats(

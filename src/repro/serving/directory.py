@@ -115,6 +115,7 @@ class GraphDirectory:
         health_policy: Optional[object] = None,
         fault_plan: Optional[object] = None,
         max_resident_shards: Optional[int] = None,
+        member_backend: str = "thread",
     ) -> ServingEngine:
         """Host ``graph`` (or a bundle) under ``name`` and return its engine.
 
@@ -177,6 +178,7 @@ class GraphDirectory:
                 result_cache_policy=cache_policy,
                 health_policy=health_policy,  # type: ignore[arg-type]
                 fault_plan=fault_plan,
+                member_backend=member_backend,
             )
         elif use_sharded:
             engine = ShardedBCCEngine(
@@ -255,13 +257,23 @@ class GraphDirectory:
             return engine
 
     def remove(self, name: str) -> None:
-        """Stop serving ``name`` (:class:`GraphNotFoundError` if absent)."""
+        """Stop serving ``name`` (:class:`GraphNotFoundError` if absent).
+
+        Process-backed resources (worker pools, shared-memory exports) are
+        released outside the directory lock — shutting workers down joins
+        their processes, which must never stall unrelated serving calls.
+        """
         with self._lock:
             if name not in self._engines:
                 raise GraphNotFoundError(name, known=self._engines)
-            del self._engines[name]
+            engine = self._engines.pop(name)
             del self._latency[name]
             self._store_modes.pop(name, None)
+        closer = getattr(engine, "close", None)
+        if closer is None:
+            closer = getattr(engine, "close_process_pool", None)
+        if closer is not None:
+            closer()
 
     def names(self) -> List[str]:
         """The graphs currently served, sorted."""

@@ -59,7 +59,10 @@ from typing import Dict, Iterable, List, Optional, Set, Union
 from repro.api.config import SearchConfig
 from repro.api.engine import (
     DEFAULT_RESULT_CACHE_SIZE,
+    PROCESS_AUTO_MIN_EDGES,
     BCCEngine,
+    error_response_for,
+    is_caller_error,
     serve_batch,
 )
 from repro.api.query import (
@@ -153,6 +156,10 @@ class ShardedBCCEngine:
         self._partition_lock = threading.Lock()
         self._shards_lock = threading.Lock()
         self._counters_lock = threading.Lock()
+        # Lazy process-backend pool (shard-pinned workers); the pool lock
+        # only guards the slot, shutdown happens outside every router lock.
+        self._pool_lock = threading.Lock()
+        self._process_pool: Optional[object] = None
         self._counters: Dict[str, int] = {
             "partitions": 0,
             "searches": 0,
@@ -161,6 +168,9 @@ class ShardedBCCEngine:
             "shard_attaches": 0,
             "shard_persists": 0,
             "shard_evictions": 0,
+            "process_batches": 0,
+            "process_tasks": 0,
+            "process_fallbacks": 0,
         }
         self._latency = LatencyHistogram()
         self._components: List[Set[Vertex]] = []
@@ -181,6 +191,7 @@ class ShardedBCCEngine:
         through :meth:`_check_version` so one graph mutation produces
         exactly one re-partition however many threads observe it.
         """
+        stale_pool = None
         with self._partition_lock:
             version = self.graph.version()
             if version == self._graph_version:
@@ -194,8 +205,15 @@ class ShardedBCCEngine:
                 self._components = components
                 self._routing = routing
                 self._shards = OrderedDict()
+            with self._pool_lock:
+                stale_pool = self._process_pool
+                self._process_pool = None
             self._graph_version = version
             self._count("partitions")
+        if stale_pool is not None:
+            # Worker processes hold the old frozen snapshot; joining them
+            # can take a moment, so it happens outside the router locks.
+            stale_pool.close()
 
     def _check_version(self) -> None:
         """Re-partition exactly once when the underlying graph mutated."""
@@ -394,6 +412,7 @@ class ShardedBCCEngine:
         on_error: str = "raise",
         max_workers: int = 1,
         use_cache: bool = True,
+        backend: Optional[str] = None,
     ) -> List[SearchResponse]:
         """Scatter-gather a batch across shards, preserving batch semantics.
 
@@ -408,19 +427,183 @@ class ShardedBCCEngine:
         ``max_workers > 1`` serves queries from one thread pool spanning
         shards; each shard engine's fill-once caches keep preparation
         exactly-once per shard under contention.
+
+        ``backend="process"`` (or an ``"auto"`` pick on a compute-bound
+        shape, same heuristic as the monolithic engine) ships the batch to
+        ``max_workers`` worker processes instead.  Routing still happens
+        router-side: cross-shard rows short-circuit in the parent without
+        touching any worker, and every in-shard row is *pinned* to worker
+        ``shard_id % workers`` so one shard's engine is built by exactly
+        one worker process however large the batch.  Unavailable shared
+        memory degrades to the threaded path with a one-time warning and a
+        ``"process_fallbacks"`` counter tick.
         """
+        if isinstance(queries, BatchQuery):
+            batch = queries
+        else:
+            batch = BatchQuery(queries=tuple(queries))
+        resolved_backend = backend
+        if resolved_backend is None:
+            base = config if config is not None else self.config
+            resolved_backend = base.backend
+        use_process = resolved_backend == "process" or (
+            resolved_backend == "auto"
+            and max_workers > 1
+            and len(batch.queries) > 1
+            and instrumentation is None
+            and self.graph.num_edges() >= PROCESS_AUTO_MIN_EDGES
+        )
+        if use_process:
+            responses = self._try_serve_process(
+                batch,
+                config=config,
+                instrumentation=instrumentation,
+                on_error=on_error,
+                max_workers=max_workers,
+                use_cache=use_cache,
+            )
+            if responses is not None:
+                return responses
         # One shared implementation with the monolithic engine, so batch
         # semantics can never diverge.  No ``prepare`` hook: laziness is
         # the point — only the shards the batch routes to get built.
         return serve_batch(
             self,
-            queries,
+            batch,
             config=config,
             instrumentation=instrumentation,
             on_error=on_error,
             max_workers=max_workers,
             use_cache=use_cache,
         )
+
+    # ------------------------------------------------------------------
+    # process batch transport
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _row_config(
+        config: Optional[SearchConfig],
+        query: Query,
+        batch_config: Optional[SearchConfig],
+    ) -> Optional[SearchConfig]:
+        """Call > query > batch precedence; ``None`` = worker engine base."""
+        if config is not None:
+            return config
+        if query.config is not None:
+            return query.config
+        return batch_config
+
+    def _try_serve_process(
+        self,
+        batch: BatchQuery,
+        *,
+        config: Optional[SearchConfig],
+        instrumentation: Optional[SearchInstrumentation],
+        on_error: str,
+        max_workers: int,
+        use_cache: bool,
+    ) -> Optional[List[SearchResponse]]:
+        """Serve ``batch`` through shard-pinned workers, or ``None`` to fall back."""
+        from repro.api.engine import _warn_process_fallback_once
+        from repro.parallel.shm import ProcessBackendUnavailable
+
+        if on_error not in ("raise", "return"):
+            # Let serve_batch raise its canonical validation error.
+            return None
+        if instrumentation is not None:
+            self._count("process_fallbacks")
+            _warn_process_fallback_once(
+                "caller-supplied instrumentation cannot cross the process "
+                "boundary"
+            )
+            return None
+        try:
+            pool = self._ensure_process_pool(max(1, max_workers))
+        except ProcessBackendUnavailable as exc:
+            self._count("process_fallbacks")
+            _warn_process_fallback_once(str(exc))
+            return None
+        # Route every row in the parent: cross-shard answers short-circuit
+        # here (no worker ever sees them), routing failures follow the
+        # on_error policy, and in-shard rows carry their pin.
+        responses: List[Optional[SearchResponse]] = [None] * len(batch.queries)
+        remote: List[tuple] = []  # (position, (query, config, pin))
+        for position, query in enumerate(batch.queries):
+            start = time.perf_counter()
+            try:
+                spec = get_method(query.method)
+                shard_id = self._route(query)
+            except Exception as exc:
+                if on_error == "raise" or not is_caller_error(query, exc):
+                    raise
+                responses[position] = error_response_for(query, exc)
+                continue
+            if shard_id is None:
+                self._count("searches")
+                self._count("cross_shard_queries")
+                elapsed = time.perf_counter() - start
+                self._latency.observe(elapsed)
+                responses[position] = self._cross_shard_response(
+                    query, spec.name, elapsed
+                )
+                continue
+            row_config = self._row_config(config, query, batch.config)
+            remote.append((position, (query, row_config, shard_id % pool.workers)))
+        if remote:
+            rows = pool.run_batch(
+                [spec for _, spec in remote],
+                on_error=on_error,
+                use_cache=use_cache,
+            )
+            for (position, _), response in zip(remote, rows):
+                responses[position] = response
+                if response.status != "error":
+                    self._count("searches")
+        self._count("process_batches")
+        self._count("process_tasks", len(remote))
+        return list(responses)  # type: ignore[arg-type]
+
+    def _ensure_process_pool(self, workers: int):
+        """The live shard-pinned pool, created or grown under the pool lock."""
+        from repro.parallel.pool import ProcessWorkerPool
+
+        self._check_version()
+        stale = None
+        with self._pool_lock:
+            current = self._process_pool
+            if current is not None and current.workers >= workers:
+                return current
+            pool = ProcessWorkerPool(
+                self.graph,
+                self.config,
+                workers,
+                sharded=True,
+                result_cache_size=self._result_cache_size,
+            )
+            try:
+                pool.start()
+            except Exception:
+                pool.close()
+                raise
+            self._process_pool = pool
+            stale = current
+        if stale is not None:
+            stale.close()
+        return pool
+
+    def process_pool_stats(self) -> Optional[Dict[str, object]]:
+        """The worker pool's stats block, or ``None`` when no pool is live."""
+        with self._pool_lock:
+            pool = self._process_pool
+        return None if pool is None else pool.stats()
+
+    def close_process_pool(self) -> None:
+        """Shut the worker pool down (idempotent; a later batch respawns it)."""
+        with self._pool_lock:
+            pool = self._process_pool
+            self._process_pool = None
+        if pool is not None:
+            pool.close()
 
     # ------------------------------------------------------------------
     # introspection
@@ -549,6 +732,7 @@ class ShardedBCCEngine:
             latency=self._latency.snapshot(),
             shards=tuple(blocks),
             store=store_block,
+            workers=self.process_pool_stats(),
         )
 
     def observe_latency(self, seconds: float) -> None:

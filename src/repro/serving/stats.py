@@ -219,6 +219,11 @@ class ServingStats:
     #: Persistent-store block (attach mode, resident/evicted shard counts);
     #: ``None`` for engines serving without a snapshot store.
     store: Optional[Dict[str, object]] = None
+    #: Process-backend worker-pool block (pool size, dispatch counters,
+    #: one row per worker process with pid / liveness / crash counts and
+    #: its last piggybacked engine counters); ``None`` when no pool is
+    #: live — serving never blocks on a busy worker to report this.
+    workers: Optional[Dict[str, object]] = None
 
     @classmethod
     def from_engine(
@@ -233,6 +238,7 @@ class ServingStats:
         :meth:`repro.serving.sharded.ShardedBCCEngine.stats`.)
         """
         payload = engine_payload(engine)
+        pool_stats = getattr(engine, "process_pool_stats", None)
         return cls(
             name=name,
             kind="monolithic",
@@ -248,6 +254,7 @@ class ServingStats:
                 if latency is not None
                 else LatencyHistogram().snapshot()
             ),
+            workers=pool_stats() if pool_stats is not None else None,
         )
 
     def shard(self, shard_id: int) -> Dict[str, object]:
@@ -275,6 +282,8 @@ class ServingStats:
             payload["health"] = dict(self.health)
         if self.store is not None:
             payload["store"] = dict(self.store)
+        if self.workers is not None:
+            payload["workers"] = dict(self.workers)
         return payload
 
     def to_json(self, indent: Optional[int] = None) -> str:

@@ -406,17 +406,14 @@ class Snapshot:
         query runs an O(n) filter instead of a peel.
         """
         if self._csr is None:
-            interner = VertexInterner(self._vertices)
-            for label in self._label_order:
-                interner.intern_label(label)
-            csr = CSRGraph(
-                interner,
+            self._csr = CSRGraph.attach(
+                self._vertices,
+                self._label_order,
                 self.segment("offsets"),
                 self.segment("neighbors"),
                 self.segment("labels"),
+                coreness=self.segment("coreness"),
             )
-            csr._coreness = list(self.segment("coreness"))
-            self._csr = csr
         return self._csr
 
     def describe(self) -> Dict[str, object]:

@@ -16,6 +16,7 @@ import random
 
 import pytest
 
+from repro.api import SearchConfig
 from repro.core.butterfly import (
     brute_force_butterfly_degrees,
     butterfly_degrees,
@@ -239,6 +240,135 @@ class TestOnlineBCCFastPathParity:
         assert fast.right_vertices == slow.right_vertices
         assert fast.query_distance == slow.query_distance
         assert fast.iterations == slow.iterations
+
+
+class TestProcessBackendParity:
+    """backend="process" ≡ the threaded path, value for value.
+
+    The worker processes serve the *same* frozen CSR arrays from shared
+    memory, so every registered method must return byte-identical wire
+    payloads (community, iterations, query distance, error rows) whether
+    the batch ran in-process or was scattered over workers.  A SIGKILLed
+    worker costs at most its in-flight row and never the batch.
+    """
+
+    PAIR_CONFIGS = {
+        "online-bcc": SearchConfig(b=1, max_iterations=60),
+        "lp-bcc": SearchConfig(b=1, max_iterations=60),
+        "l2p-bcc": SearchConfig(b=1, max_iterations=60),
+        "ctc": SearchConfig(max_iterations=60),
+        "psa": SearchConfig(),
+    }
+
+    @staticmethod
+    def _canonical(response):
+        from repro.server.protocol import encode_response
+
+        payload = encode_response(response)
+        payload.pop("timings")
+        return payload
+
+    @staticmethod
+    def _cross_pairs(graph, limit):
+        pairs = []
+        for u, v in graph.cross_edges():
+            pairs.append((u, v))
+            if len(pairs) >= limit:
+                break
+        return pairs
+
+    @pytest.mark.parallel
+    @pytest.mark.parametrize("seed", range(3))
+    def test_every_pair_method_agrees(self, seed):
+        from repro.api import BCCEngine, Query
+
+        graph = random_labeled_graph(24, 0.3, ["A", "B"], seed=800 + seed)
+        pairs = self._cross_pairs(graph, 2)
+        if not pairs:
+            pytest.skip("no cross edge in this instance")
+        queries = [
+            Query(method, pair, config=config)
+            for method, config in self.PAIR_CONFIGS.items()
+            for pair in pairs
+        ]
+        engine = BCCEngine(graph)
+        expected = engine.search_many(queries, on_error="return")
+        got = engine.search_many(
+            queries, on_error="return", backend="process", max_workers=2
+        )
+        try:
+            assert [self._canonical(r) for r in got] == [
+                self._canonical(r) for r in expected
+            ]
+        finally:
+            engine.close_process_pool()
+
+    @pytest.mark.parallel
+    def test_mbcc_agrees_on_a_multilabel_graph(self):
+        from repro.api import BCCEngine, Query, SearchConfig
+
+        graph = random_labeled_graph(21, 0.4, ["A", "B", "C"], seed=31)
+        by_label = [sorted(graph.vertices_with_label(l)) for l in "ABC"]
+        if not all(by_label):
+            pytest.skip("a label side is empty in this instance")
+        query = tuple(side[0] for side in by_label)
+        config = SearchConfig(b=1, max_iterations=60)
+        engine = BCCEngine(graph)
+        queries = [Query("mbcc", query, config=config)]
+        expected = engine.search_many(queries, on_error="return")
+        got = engine.search_many(
+            queries, on_error="return", backend="process"
+        )
+        try:
+            assert [self._canonical(r) for r in got] == [
+                self._canonical(r) for r in expected
+            ]
+        finally:
+            engine.close_process_pool()
+
+    @pytest.mark.parallel
+    @pytest.mark.chaos
+    def test_sigkill_mid_batch_costs_one_row_at_most(self):
+        import os
+        import signal
+        import time
+
+        from repro.api import BCCEngine, Query
+        from repro.parallel import ProcessWorkerPool
+
+        graph = random_labeled_graph(30, 0.25, ["A", "B"], seed=77)
+        pairs = self._cross_pairs(graph, 6)
+        queries = [Query("online-bcc", pair) for pair in pairs]
+
+        class KillFirstDispatch:
+            def __init__(self):
+                self.fired = False
+
+            def on(self, site, **attrs):
+                if site == "pool.dispatch" and not self.fired:
+                    self.fired = True
+                    os.kill(attrs["pid"], signal.SIGKILL)
+
+        killer = KillFirstDispatch()
+        start = time.monotonic()
+        with ProcessWorkerPool(
+            graph, SearchConfig(), workers=2, fault_plan=killer
+        ) as pool:
+            rows = pool.run_batch([(q, None, None) for q in queries])
+            assert time.monotonic() - start < 60.0  # bounded, never a hang
+            assert len(rows) == len(queries)
+            errors = [r for r in rows if r.status == "error"]
+            assert len(errors) <= 1
+            for row in errors:
+                assert row.reason == "worker-crashed"
+            counters = pool.counters_snapshot()
+            assert killer.fired
+            assert counters["crashes"] >= 1 and counters["respawns"] >= 1
+            # The respawned worker serves the next batch like nothing
+            # happened — and with full parity.
+            again = pool.run_batch([(queries[0], None, None)])
+        reference = BCCEngine(graph).prepare().search(queries[0])
+        assert self._canonical(again[0]) == self._canonical(reference)
 
 
 class TestLabelIndexConsistency:

@@ -1,0 +1,348 @@
+"""Process backend behind the serving seams: engine, sharded, replicas.
+
+``test_pool.py`` proves the transport; this file proves the integration
+contracts: ``backend="process"`` is invisible in answers (value-for-value
+parity with the threaded path), the ``auto`` heuristic never engages on
+shapes it cannot help, unavailability degrades with one warning and a
+counter — never an error — and process-backed replica members live and
+die inside the PR 6 health lifecycle.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import warnings
+
+import pytest
+
+import repro.api.engine as engine_mod
+from repro.api import BCCEngine, Query, SearchConfig
+from repro.exceptions import QueryError, WorkerCrashedError
+from repro.parallel import ProcessEngine
+from repro.serving import GraphDirectory, ShardedBCCEngine
+from repro.server.replicas import ReplicaSet
+from repro.server.protocol import encode_response
+
+from tests.serving.conftest import random_multi_component_graph
+
+pytestmark = pytest.mark.parallel
+
+
+def cross_pairs(graph, limit):
+    pairs = []
+    for u, v in graph.cross_edges():
+        pairs.append((u, v))
+        if len(pairs) >= limit:
+            break
+    return pairs
+
+
+def canonical(response):
+    payload = encode_response(response)
+    payload.pop("timings")
+    return payload
+
+
+@pytest.fixture()
+def fresh_fallback_state(monkeypatch):
+    """Reset the one-time-warning latch and the shm availability cache."""
+    import repro.parallel.shm as shm
+
+    monkeypatch.setattr(engine_mod, "_PROCESS_FALLBACK_WARNED", False)
+    monkeypatch.setattr(shm, "_AVAILABLE", None)
+    yield shm
+    shm._AVAILABLE = None  # force a clean re-probe for later tests
+
+
+# ----------------------------------------------------------------------
+# ProcessEngine: the ServingEngine-shaped wrapper
+# ----------------------------------------------------------------------
+class TestProcessEngine:
+    def test_search_and_explain_parity(self, pair_graph):
+        reference = BCCEngine(pair_graph).prepare()
+        pairs = cross_pairs(pair_graph, 3)
+        with ProcessEngine(pair_graph, workers=1) as engine:
+            assert engine.prepare() is engine
+            assert engine.is_prepared()
+            for pair in pairs:
+                query = Query("online-bcc", pair)
+                assert canonical(engine.search(query)) == canonical(
+                    reference.search(query)
+                )
+            info = engine.explain(Query("online-bcc", pairs[0]))
+            want = reference.explain(Query("online-bcc", pairs[0]))
+            assert info["method"]["name"] == want["method"]["name"]
+
+    def test_search_many_matches_serve_batch_semantics(self, pair_graph):
+        reference = BCCEngine(pair_graph).prepare()
+        pair = cross_pairs(pair_graph, 1)[0]
+        queries = [
+            Query("online-bcc", pair),
+            Query("online-bcc", ("ghost", pair[1])),
+            Query("no-such-method", pair),
+        ]
+        expected = reference.search_many(queries, on_error="return")
+        with ProcessEngine(pair_graph, workers=2) as engine:
+            got = engine.search_many(queries, on_error="return")
+            assert [canonical(r) for r in got] == [
+                canonical(r) for r in expected
+            ]
+            with pytest.raises(QueryError):
+                engine.search_many(queries, on_error="sideways")
+            with pytest.raises(QueryError):
+                engine.search_many(queries, max_workers=0)
+
+    def test_instrumentation_is_rejected_not_silently_dropped(
+        self, pair_graph
+    ):
+        pair = cross_pairs(pair_graph, 1)[0]
+        with ProcessEngine(pair_graph, workers=1) as engine:
+            with pytest.raises(QueryError):
+                engine.search(
+                    Query("online-bcc", pair), instrumentation=object()
+                )
+            with pytest.raises(QueryError):
+                engine.search_many(
+                    [Query("online-bcc", pair)], instrumentation=object()
+                )
+
+    def test_counters_aggregate_across_workers(self, pair_graph):
+        pairs = cross_pairs(pair_graph, 4)
+        with ProcessEngine(pair_graph, workers=2) as engine:
+            engine.search_many(
+                [Query("online-bcc", p) for p in pairs], on_error="return"
+            )
+            counters = engine.counters_snapshot()
+            assert counters["searches"] >= len(pairs)
+            cache = engine.result_cache_info()
+            assert set(cache) >= {"hits", "misses", "hit_rate", "capacity"}
+            assert len(engine.worker_pids()) == 2
+
+
+# ----------------------------------------------------------------------
+# BCCEngine.search_many(backend="process")
+# ----------------------------------------------------------------------
+class TestEngineBackend:
+    def test_explicit_process_backend_parity_and_counters(self, pair_graph):
+        engine = BCCEngine(pair_graph)
+        pair = cross_pairs(pair_graph, 1)[0]
+        queries = [
+            Query("online-bcc", p) for p in cross_pairs(pair_graph, 4)
+        ] + [Query("no-such-method", pair)]
+        expected = engine.search_many(queries, on_error="return")
+        got = engine.search_many(
+            queries, on_error="return", backend="process", max_workers=2
+        )
+        try:
+            assert [canonical(r) for r in got] == [
+                canonical(r) for r in expected
+            ]
+            counters = engine.counters_snapshot()
+            assert counters["process_batches"] == 1
+            assert counters["process_tasks"] == len(queries)
+            assert counters["process_fallbacks"] == 0
+            stats = engine.process_pool_stats()
+            assert stats is not None and stats["size"] == 2
+        finally:
+            engine.close_process_pool()
+        assert engine.process_pool_stats() is None
+        # The pool respawns lazily on the next process batch.
+        again = engine.search_many(
+            queries[:2], on_error="return", backend="process"
+        )
+        try:
+            assert [canonical(r) for r in again] == [
+                canonical(r) for r in expected[:2]
+            ]
+        finally:
+            engine.close_process_pool()
+
+    def test_auto_never_engages_below_the_edge_floor(self, pair_graph):
+        # pair_graph is far under PROCESS_AUTO_MIN_EDGES: auto must keep
+        # the threaded path and never pay a pool spawn (or a fallback).
+        assert pair_graph.num_edges() < engine_mod.PROCESS_AUTO_MIN_EDGES
+        engine = BCCEngine(pair_graph)
+        queries = [
+            Query("online-bcc", p) for p in cross_pairs(pair_graph, 4)
+        ]
+        engine.search_many(queries, on_error="return", max_workers=4)
+        assert engine.process_pool_stats() is None
+        assert engine.counters_snapshot()["process_fallbacks"] == 0
+
+    def test_unavailable_substrate_falls_back_with_one_warning(
+        self, pair_graph, fresh_fallback_state
+    ):
+        shm = fresh_fallback_state
+
+        def broken():
+            from repro.parallel.shm import ProcessBackendUnavailable
+
+            raise ProcessBackendUnavailable("forced by test")
+
+        with pytest.MonkeyPatch.context() as mp:
+            mp.setattr(shm, "_probe_shared_memory", broken)
+            engine = BCCEngine(pair_graph)
+            queries = [
+                Query("online-bcc", p) for p in cross_pairs(pair_graph, 3)
+            ]
+            expected = engine.search_many(queries, on_error="return")
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                first = engine.search_many(
+                    queries, on_error="return", backend="process"
+                )
+                second = engine.search_many(
+                    queries, on_error="return", backend="process"
+                )
+            runtime = [
+                w for w in caught if issubclass(w.category, RuntimeWarning)
+            ]
+            assert len(runtime) == 1  # warned once, not per batch
+            assert "process backend unavailable" in str(runtime[0].message)
+            for got in (first, second):
+                assert [canonical(r) for r in got] == [
+                    canonical(r) for r in expected
+                ]
+            assert engine.counters_snapshot()["process_fallbacks"] == 2
+            assert engine.process_pool_stats() is None
+
+
+# ----------------------------------------------------------------------
+# ShardedBCCEngine: shard-pinned workers
+# ----------------------------------------------------------------------
+class TestShardedBackend:
+    def test_process_parity_including_cross_shard_rows(self):
+        graph, parts = random_multi_component_graph(90125, num_components=3)
+        sharded = ShardedBCCEngine(graph)
+        same_shard = cross_pairs(graph, 4)
+        queries = [Query("online-bcc", p) for p in same_shard]
+        # Cross-component row: answered parent-side, never dispatched.
+        queries.append(Query("online-bcc", (parts[0][0], parts[1][0])))
+        queries.append(Query("no-such-method", same_shard[0]))
+        expected = sharded.search_many(queries, on_error="return")
+        got = sharded.search_many(
+            queries, on_error="return", backend="process", max_workers=2
+        )
+        try:
+            assert [canonical(r) for r in got] == [
+                canonical(r) for r in expected
+            ]
+            counters = sharded.counters_snapshot()
+            assert counters["process_batches"] == 1
+            # The cross-shard and unknown-method rows never went remote.
+            assert counters["process_tasks"] == len(same_shard)
+            stats = sharded.stats()
+            assert stats.workers is not None
+            assert "workers" in stats.to_dict()
+        finally:
+            sharded.close_process_pool()
+        assert sharded.stats().workers is None
+
+
+# ----------------------------------------------------------------------
+# ReplicaSet: process-backed members
+# ----------------------------------------------------------------------
+class TestReplicaProcessMembers:
+    def test_members_share_one_export_and_answer_identically(
+        self, pair_graph
+    ):
+        reference = BCCEngine(pair_graph).prepare()
+        pairs = cross_pairs(pair_graph, 4)
+        with ReplicaSet(
+            pair_graph, replicas=2, member_backend="process"
+        ) as replica_set:
+            assert replica_set.member_backend == "process"
+            for pair in pairs:
+                query = Query("online-bcc", pair)
+                assert canonical(replica_set.search(query)) == canonical(
+                    reference.search(query)
+                )
+            stats = replica_set.stats().to_dict()
+            blocks = stats["replicas"]
+            assert len(blocks) == 2
+            for block in blocks:
+                assert "workers" in block
+                assert block["health"]["state"] == "ok"
+        # close() is idempotent.
+        replica_set.close()
+
+    def test_worker_crashed_is_a_replica_failure_that_fails_over(
+        self, pair_graph
+    ):
+        pair = cross_pairs(pair_graph, 1)[0]
+        query = Query("online-bcc", pair)
+        with ReplicaSet(
+            pair_graph, replicas=2, member_backend="process"
+        ) as replica_set:
+            expected = canonical(replica_set.search(query))
+            victim = replica_set.replica_engine(0)
+            real_search = victim.search
+            fired = {"n": 0}
+
+            def crash_once(*args, **kwargs):
+                if fired["n"] == 0:
+                    fired["n"] += 1
+                    raise WorkerCrashedError(worker=0, pid=12345)
+                return real_search(*args, **kwargs)
+
+            victim.search = crash_once
+            try:
+                # Replica 0 is least-loaded and claims the query; the
+                # crash is a non-caller error, so the set fails over.
+                response = replica_set.search(query, use_cache=False)
+            finally:
+                victim.search = real_search
+            assert fired["n"] == 1
+            assert canonical(response) == expected
+            counters = replica_set.counters_snapshot()
+            assert counters["failovers"] >= 1
+            assert counters["replica_failures"] >= 1
+            assert (
+                replica_set.replica_health(0).snapshot()[
+                    "consecutive_failures"
+                ]
+                >= 1
+            )
+
+    @pytest.mark.chaos
+    def test_killed_member_process_respawns_transparently(self, pair_graph):
+        pair = cross_pairs(pair_graph, 1)[0]
+        query = Query("online-bcc", pair)
+        with ReplicaSet(
+            pair_graph, replicas=2, member_backend="process"
+        ) as replica_set:
+            expected = canonical(replica_set.search(query))
+            victim = replica_set.replica_engine(0)
+            victim.prepare()
+            os.kill(victim.worker_pids()[0], signal.SIGKILL)
+            # An idle-killed worker is detected at the next send (broken
+            # pipe), respawned, and the task retried: the caller sees a
+            # correct answer, not an error.
+            for _ in range(4):
+                got = replica_set.search(query, use_cache=False)
+                assert canonical(got) == expected
+            counters = victim.worker_stats()["counters"]
+            assert counters["crashes"] >= 1
+            assert counters["respawns"] >= 1
+
+
+# ----------------------------------------------------------------------
+# GraphDirectory wiring
+# ----------------------------------------------------------------------
+class TestDirectory:
+    def test_add_process_replicas_and_remove_closes_them(self, pair_graph):
+        directory = GraphDirectory()
+        engine = directory.add(
+            "demo", pair_graph, replicas=2, member_backend="process"
+        )
+        assert isinstance(engine, ReplicaSet)
+        assert engine.member_backend == "process"
+        pair = cross_pairs(pair_graph, 1)[0]
+        response = directory.get("demo").search(Query("online-bcc", pair))
+        assert response.status in ("ok", "empty")
+        directory.remove("demo")
+        assert "demo" not in directory
+        # remove() closed the members: their pools refuse new batches.
+        with pytest.raises(RuntimeError):
+            engine.replica_engine(0).search(Query("online-bcc", pair))
