@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""The observability layer: request tracing, /metrics, slow-query capture.
+
+A guided tour of what an operator sees when the serving stack runs with
+its lights on.  The script
+
+1. hosts the paper's running-example graph behind a
+   :class:`repro.server.Gateway` and turns tracing **on** with a 0ms
+   slow-query threshold, so every request's span tree is retained;
+2. serves a few queries through the :class:`repro.server.GatewayClient`
+   (one of them twice, so the result cache shows up in the metrics);
+3. scrapes ``GET /metrics`` — the Prometheus text exposition every
+   counter, gauge and latency histogram in the process feeds — and prints
+   the engine/gateway samples a dashboard would graph;
+4. reads the ``/stats`` schema-v2 ``trace`` and ``metrics`` blocks, the
+   JSON view of the same registry;
+5. pulls ``GET /debug/slow`` and renders the retained span trees with
+   :func:`repro.obs.tracing.format_trace` — the same view
+   ``python -m repro.obs slow.json`` gives from a saved document.
+
+Tracing is off by default and costs one ``ContextVar.get`` per span site
+when off (``benchmarks/bench_obs_overhead.py`` measures it); this script
+opts in explicitly, which is the intended production posture: flip it on
+when investigating, read ``/debug/slow``, flip it off.
+
+Run with:  python examples/observability.py
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro import GraphDirectory, Query
+from repro.graph.generators import paper_example_graph
+from repro.obs.tracing import format_trace
+from repro.server import Gateway, GatewayClient
+
+
+def show_samples(text: str, prefixes: tuple) -> None:
+    """Print the exposition rows whose metric name starts with a prefix."""
+    for line in text.splitlines():
+        if line.startswith("#"):
+            continue
+        if line.startswith(prefixes):
+            print(f"    {line}")
+
+
+def main() -> None:
+    directory = GraphDirectory(sharded=False)
+    directory.add("paper", paper_example_graph())
+
+    with Gateway(directory, port=0, max_in_flight=8) as gateway:
+        # ------------------------------------------------------------------
+        # 1. Lights on: tracing enabled, every request is a "slow" query.
+        # ------------------------------------------------------------------
+        obs = gateway.observability
+        obs.tracer.enable()
+        obs.slow_log.set_threshold_ms(0.0)
+        print(f"gateway up at {gateway.url} (tracing on, threshold 0ms)")
+
+        # ------------------------------------------------------------------
+        # 2. Serve a little traffic, including one repeated (cached) query.
+        # ------------------------------------------------------------------
+        client = GatewayClient(gateway.url)
+        queries = [
+            Query("online-bcc", ("ql", "qr")),
+            Query("lp-bcc", ("ql", "qr")),
+            Query("online-bcc", ("ql", "qr")),  # result-cache hit
+        ]
+        for query in queries:
+            response = client.search("paper", query)
+            print(f"  {query.method:<12} -> {response.status}")
+
+        # ------------------------------------------------------------------
+        # 3. The Prometheus scrape: what a dashboard would graph.
+        # ------------------------------------------------------------------
+        text = client.metrics_text()
+        total_rows = sum(
+            1 for line in text.splitlines() if not line.startswith("#")
+        )
+        print(f"\nGET /metrics -> {total_rows} samples; a few of them:")
+        show_samples(
+            text,
+            (
+                "bcc_engine_searches_total",
+                "bcc_engine_result_cache",
+                "bcc_gateway_requests_total",
+                "bcc_gateway_in_flight",
+                "bcc_graph_latency_seconds_count",
+                "bcc_obs_tracer_",
+                "bcc_obs_slowlog_retained",
+            ),
+        )
+
+        # ------------------------------------------------------------------
+        # 4. The same registry as JSON: /stats schema v2.
+        # ------------------------------------------------------------------
+        stats = client.stats()
+        print(f"\n/stats schema v{stats['schema_version']}:")
+        print(f"  trace block:   {json.dumps(stats['trace'], sort_keys=True)}")
+        metrics_block = stats["metrics"]
+        print(
+            f"  metrics block: {metrics_block['series']} series from "
+            f"sources {sorted(metrics_block['sources'])}"
+        )
+
+        # ------------------------------------------------------------------
+        # 5. The slow-query log: retained span trees, operator-readable.
+        # ------------------------------------------------------------------
+        payload = client.debug_slow()
+        print(
+            f"\nGET /debug/slow -> {payload['retained']} retained "
+            f"(threshold {payload['threshold_ms']}ms); newest first:"
+        )
+        for entry in payload["traces"][:2]:
+            print()
+            print(format_trace(entry))
+
+    print("\ngateway closed; goodbye")
+
+
+if __name__ == "__main__":
+    main()

@@ -7,6 +7,7 @@ Add a checker by creating a module here and importing it below — the
 from repro.analysis.checkers import (  # noqa: F401  (registration imports)
     clock_hygiene,
     lock_discipline,
+    metrics_coverage,
     reason_exhaustiveness,
     snapshot_schema,
     wire_drift,
@@ -15,6 +16,7 @@ from repro.analysis.checkers import (  # noqa: F401  (registration imports)
 __all__ = [
     "clock_hygiene",
     "lock_discipline",
+    "metrics_coverage",
     "reason_exhaustiveness",
     "snapshot_schema",
     "wire_drift",

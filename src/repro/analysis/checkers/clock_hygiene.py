@@ -9,16 +9,18 @@ turns a deterministic test flaky.
 
 Two scopes, two strictness levels:
 
-* Files under ``repro/server/`` or ``repro/parallel/`` — ``time.sleep``,
-  ``time.time`` and ``time.monotonic`` may appear **only as parameter
-  defaults** (the declared injectable seam, e.g.
+* Files under ``repro/server/``, ``repro/parallel/`` or ``repro/obs/`` —
+  ``time.sleep``, ``time.time`` and ``time.monotonic`` may appear **only
+  as parameter defaults** (the declared injectable seam, e.g.
   ``def __init__(..., clock: Callable[[], float] = time.monotonic)``).
   Any other reference — call, alias, ``from time import sleep`` — is a
   finding.  ``time.perf_counter`` is deliberately allowed: it measures
   elapsed wall intervals for stats and never gates behavior.  The
   parallel package is in scope because its deadline watchdog and worker
   respawn logic gate behavior on the clock exactly like the server
-  package's breakers do — chaos tests drive both on virtual time.
+  package's breakers do — chaos tests drive both on virtual time.  The
+  obs package is in scope because traces, slow-query retention and the
+  overhead benchmark must all be drivable on fake clocks.
 * ``test_chaos.py`` — the three banned names may not appear **at all**,
   defaults included: chaos tests run on fake clocks, full stop.
 """
@@ -41,7 +43,11 @@ _CHAOS_BASENAME = "test_chaos.py"
 
 
 #: Packages whose behavior-gating clocks must ride injectable seams.
-_CLOCKED_PACKAGES = (("repro", "server"), ("repro", "parallel"))
+_CLOCKED_PACKAGES = (
+    ("repro", "server"),
+    ("repro", "parallel"),
+    ("repro", "obs"),
+)
 
 
 def _in_clocked_package(source: SourceFile) -> bool:
@@ -72,9 +78,9 @@ class ClockHygieneChecker(Checker):
     rule = "BCC002"
     name = "clock-hygiene"
     description = (
-        "no bare time.sleep/time.time/time.monotonic in repro/server/ or "
-        "repro/parallel/ outside injectable parameter defaults; none at "
-        "all in test_chaos.py"
+        "no bare time.sleep/time.time/time.monotonic in repro/server/, "
+        "repro/parallel/ or repro/obs/ outside injectable parameter "
+        "defaults; none at all in test_chaos.py"
     )
 
     def check(self, project: Project) -> Iterator[Finding]:
@@ -124,7 +130,7 @@ class ClockHygieneChecker(Checker):
                 f"fake clocks only"
             )
         return (
-            f"{what} in a clocked package (repro/server/, repro/parallel/) "
-            f"— route wall-clock through an injectable clock=/sleep= "
-            f"parameter default"
+            f"{what} in a clocked package (repro/server/, repro/parallel/, "
+            f"repro/obs/) — route wall-clock through an injectable "
+            f"clock=/sleep= parameter default"
         )

@@ -125,6 +125,24 @@ GUARDED_FIELDS: Dict[str, Dict[str, Dict[str, str]]] = {
             "_retries": "_retry_lock",
         },
     },
+    "tracing.py": {
+        "Tracer": {
+            "_counters": "_lock",
+        },
+    },
+    "metrics.py": {
+        "MetricsRegistry": {
+            "_counters": "_lock",
+            "_sources": "_lock",
+            "_owned": "_lock",
+        },
+    },
+    "slowlog.py": {
+        "SlowQueryLog": {
+            "_entries": "_lock",
+            "_counters": "_lock",
+        },
+    },
 }
 
 #: Methods whose bodies are exempt wholesale (see module docstring).

@@ -47,6 +47,7 @@ instead of aborting the batch.
 
 from __future__ import annotations
 
+import contextvars
 import dataclasses
 import threading
 import time
@@ -57,6 +58,7 @@ from types import MappingProxyType
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 from repro.api.config import SearchConfig
+from repro.obs.tracing import span as obs_span
 from repro.api.query import (
     STATUS_EMPTY,
     STATUS_ERROR,
@@ -221,10 +223,21 @@ def run_with_deadline(fn, seconds: Optional[float], what: str = "call"):
         finally:
             done.set()
 
-    worker = threading.Thread(target=work, name=f"deadline:{what}", daemon=True)
-    worker.start()
-    if not done.wait(timeout=max(0.0, seconds)):
-        raise DeadlineExceededError(deadline_ms=seconds * 1000.0)
+    # A fresh thread does not inherit contextvars, so the caller's trace
+    # context is carried across explicitly: spans opened inside ``fn``
+    # land under the caller's active span.  On timeout the worker keeps
+    # running and its deepest span never finishes — the retained trace
+    # shows exactly which span consumed the budget, marked "unfinished".
+    with obs_span("deadline", what=what, budget_ms=seconds * 1000.0) as timed:
+        context = contextvars.copy_context()
+        worker = threading.Thread(
+            target=context.run, args=(work,), name=f"deadline:{what}", daemon=True
+        )
+        worker.start()
+        if not done.wait(timeout=max(0.0, seconds)):
+            if timed is not None:
+                timed.annotate(exceeded=True)
+            raise DeadlineExceededError(deadline_ms=seconds * 1000.0)
     if "error" in box:
         raise box["error"]  # type: ignore[misc]
     return box["value"]
@@ -304,33 +317,47 @@ def serve_batch(
         deadline = deadline_seconds_for(
             config, query.config, batch_config, engine_config
         )
-        try:
-            return run_with_deadline(
-                lambda: engine.search(
-                    query,
-                    config=effective_config(query),
-                    instrumentation=instrumentation,
-                    use_cache=use_cache,
-                ),
-                deadline,
-                what=f"row:{query.method}",
-            )
-        except DeadlineExceededError as exc:
-            if on_error == "raise":
-                raise
-            return error_response_for(query, exc)
-        except (QueryError, VertexNotFoundError) as exc:
-            if on_error == "raise" or not is_caller_error(query, exc):
-                raise
-            return error_response_for(query, exc)
+        with obs_span("row", method=query.method):
+            try:
+                return run_with_deadline(
+                    lambda: engine.search(
+                        query,
+                        config=effective_config(query),
+                        instrumentation=instrumentation,
+                        use_cache=use_cache,
+                    ),
+                    deadline,
+                    what=f"row:{query.method}",
+                )
+            except DeadlineExceededError as exc:
+                if on_error == "raise":
+                    raise
+                return error_response_for(query, exc)
+            except (QueryError, VertexNotFoundError) as exc:
+                if on_error == "raise" or not is_caller_error(query, exc):
+                    raise
+                return error_response_for(query, exc)
 
-    if max_workers > 1 and len(items) > 1:
-        with ThreadPoolExecutor(max_workers=min(max_workers, len(items))) as pool:
-            # map() yields in submission order, so responses stay
-            # position-aligned and an on_error="raise" failure surfaces at
-            # its earliest position.
-            return list(pool.map(serve, items))
-    return [serve(query) for query in items]
+    with obs_span("batch", rows=len(items), transport="thread"):
+        if max_workers > 1 and len(items) > 1:
+            # Executor threads do not inherit contextvars; each row gets a
+            # private copy of the caller's context so its "row" span joins
+            # this batch's trace (a Context object is single-entry, hence
+            # one copy per row, not one shared copy).
+            contexts = [contextvars.copy_context() for _ in items]
+            with ThreadPoolExecutor(
+                max_workers=min(max_workers, len(items))
+            ) as pool:
+                # map() yields in submission order, so responses stay
+                # position-aligned and an on_error="raise" failure surfaces
+                # at its earliest position.
+                return list(
+                    pool.map(
+                        lambda pair: pair[0].run(serve, pair[1]),
+                        zip(contexts, items),
+                    )
+                )
+        return [serve(query) for query in items]
 
 
 @dataclasses.dataclass
@@ -515,7 +542,8 @@ class BCCEngine:
         if not self.graph.has_frozen():
             with self._freeze_lock:
                 if not self.graph.has_frozen():
-                    self.graph.freeze()
+                    with obs_span("engine.csr_freeze"):
+                        self.graph.freeze()
                     self._count("csr_freezes")
         self._prepared = True
         return self
@@ -564,7 +592,8 @@ class BCCEngine:
                 )
             if not self._index.is_built():
                 start = time.perf_counter()
-                self._index.build()
+                with obs_span("engine.index_build"):
+                    self._index.build()
                 build_seconds = time.perf_counter() - start
                 self._index_build_seconds += build_seconds
                 self._tls.index_seconds = (
@@ -741,7 +770,35 @@ class BCCEngine:
         bypasses the cache for this call, and a caller-supplied
         ``instrumentation`` does too — the caller wants the algorithm's
         counters, so the algorithm actually runs.
+
+        With an active trace (see :mod:`repro.obs.tracing`) the phases —
+        cache lookup, CSR freeze, index build, kernel — report themselves
+        as child spans; with none (the default) the span calls are no-ops.
         """
+        with obs_span(
+            "engine.search", method=getattr(query, "method", None)
+        ) as timed:
+            response = self._search_impl(
+                query,
+                config=config,
+                instrumentation=instrumentation,
+                use_cache=use_cache,
+            )
+            if timed is not None:
+                timed.annotate(
+                    status=response.status,
+                    cache_hit=bool(response.timings.get("cache_hit")),
+                )
+            return response
+
+    def _search_impl(
+        self,
+        query: Query,
+        *,
+        config: Optional[SearchConfig],
+        instrumentation: Optional[SearchInstrumentation],
+        use_cache: bool,
+    ) -> SearchResponse:
         self._check_version()
         spec = get_method(query.method)
         cfg = self._resolve_config(query, config)
@@ -760,7 +817,8 @@ class BCCEngine:
                 self._graph_version,
             )
             lookup_start = time.perf_counter()
-            cached = self._cache_get(cache_key)
+            with obs_span("engine.cache_lookup"):
+                cached = self._cache_get(cache_key)
             if cached is not None:
                 self._count("searches")
                 self._count("result_cache_hits")
@@ -774,7 +832,8 @@ class BCCEngine:
         start = time.perf_counter()
         reason: Optional[str] = None
         try:
-            result = spec.runner(self, query, cfg, inst)
+            with obs_span("engine.kernel", method=spec.name):
+                result = spec.runner(self, query, cfg, inst)
             status = STATUS_OK
         except EmptyCommunityError as exc:
             result = None

@@ -1,0 +1,105 @@
+"""The slow-query log: a bounded ring buffer of retained trace documents.
+
+Traces whose total duration crosses ``threshold_ms`` are retained as
+their JSON document (:meth:`repro.obs.tracing.Trace.to_dict` — *not* the
+live object, so retained entries never pin engines or graphs), newest
+last, evicting the oldest beyond ``capacity``.  ``GET /debug/slow`` dumps
+the buffer and ``python -m repro.obs`` pretty-prints it as span trees.
+
+Entries carry a monotonically increasing ``seq`` stamp instead of a wall
+timestamp: the log stays deterministic under fake clocks (BCC002 — this
+package's only clocks are the injectable trace clocks) and ``seq`` still
+totally orders retention.
+
+Locking: ``_entries`` and ``_counters`` only under ``_lock`` (leaf).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+__all__ = ["SLOWLOG_COUNTER_NAMES", "SlowQueryLog"]
+
+#: Slow-log counter names, in reporting order.
+SLOWLOG_COUNTER_NAMES = ("slow_offered", "slow_retained", "slow_evicted")
+
+
+class SlowQueryLog:
+    """Retain traces slower than a threshold, bounded by a ring buffer."""
+
+    def __init__(self, threshold_ms: float = 100.0, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError("slow-query log capacity must be >= 1")
+        self._threshold_ms = float(threshold_ms)
+        self._capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._entries: Deque[Dict[str, object]] = deque()
+        self._seq = 0
+        self._counters: Dict[str, int] = {
+            name: 0 for name in SLOWLOG_COUNTER_NAMES
+        }
+
+    @property
+    def threshold_ms(self) -> float:
+        return self._threshold_ms
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def set_threshold_ms(self, threshold_ms: float) -> None:
+        self._threshold_ms = float(threshold_ms)
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] += amount
+
+    def counters_snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._counters)
+
+    def offer(self, trace) -> bool:
+        """Retain ``trace`` when it crossed the threshold; ``True`` if kept."""
+        self._count("slow_offered")
+        duration_ms = trace.duration_seconds() * 1000.0
+        if duration_ms < self._threshold_ms:
+            return False
+        entry = trace.to_dict()
+        with self._lock:
+            self._counters["slow_retained"] += 1
+            self._seq += 1
+            entry["seq"] = self._seq
+            self._entries.append(entry)
+            if len(self._entries) > self._capacity:
+                self._entries.popleft()
+                self._counters["slow_evicted"] += 1
+        return True
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def snapshot(self, limit: Optional[int] = None) -> List[Dict[str, object]]:
+        """Retained trace documents, newest first (optionally limited)."""
+        with self._lock:
+            entries = list(self._entries)
+        entries.reverse()
+        if limit is not None:
+            entries = entries[: max(0, int(limit))]
+        return entries
+
+    def payload(self) -> Dict[str, object]:
+        """The ``GET /debug/slow`` document."""
+        return {
+            "threshold_ms": self._threshold_ms,
+            "capacity": self._capacity,
+            "retained": len(self),
+            "counters": self.counters_snapshot(),
+            "traces": self.snapshot(),
+        }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()

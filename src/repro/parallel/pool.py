@@ -55,11 +55,13 @@ from repro.parallel.shm import (
     SharedGraphExport,
     export_graph,
 )
+from repro.obs.tracing import current_span
 from repro.parallel.worker import worker_main
 from repro.server.protocol import (
     decode_response,
     encode_config,
     encode_query,
+    encode_trace_context,
     json_dumps,
     json_loads,
 )
@@ -161,6 +163,10 @@ class _Inflight:
     spec: _TaskSpec
     task_id: int
     deadline_at: Optional[float]
+    #: The parent-side "row" span open while this task is in flight
+    #: (``None`` when no trace is active); the worker's reported spans are
+    #: grafted under it when the reply lands.
+    span: Optional[object] = None
 
 
 class ProcessWorkerPool:
@@ -408,7 +414,12 @@ class ProcessWorkerPool:
         return fresh
 
     def _send_task(
-        self, worker: _Worker, spec: _TaskSpec, task_id: int, use_cache: bool
+        self,
+        worker: _Worker,
+        spec: _TaskSpec,
+        task_id: int,
+        use_cache: bool,
+        trace_id: Optional[str] = None,
     ) -> bool:
         """Send one task; ``False`` when the worker's pipe is broken."""
         if self.fault_plan is not None:
@@ -425,6 +436,11 @@ class ProcessWorkerPool:
             "config": encode_config(spec.config),
             "use_cache": use_cache,
         }
+        if trace_id is not None:
+            # Trace context crosses the process boundary as one extra wire
+            # field; without an active trace the message stays byte-
+            # identical to the untraced protocol.
+            message["trace"] = encode_trace_context(trace_id)
         try:
             worker.conn.send(json_dumps(message))
         except (BrokenPipeError, OSError):
@@ -470,6 +486,34 @@ class ProcessWorkerPool:
     ) -> List[SearchResponse]:
         self._count("batches")
         self._count("tasks", len(tasks))
+        # With an active trace, mirror the threaded path's span shape:
+        # one "batch" span with one "row" span per task (opened at send,
+        # finished at reply), worker-side span trees grafted under rows.
+        caller_span = current_span()
+        batch_span = (
+            caller_span.child("batch", rows=len(tasks), transport="process")
+            if caller_span is not None
+            else None
+        )
+        trace_id = (
+            batch_span.trace.request_id if batch_span is not None else None
+        )
+        try:
+            return self._scatter_gather_locked(
+                tasks, on_error, use_cache, batch_span, trace_id
+            )
+        finally:
+            if batch_span is not None:
+                batch_span.finish()
+
+    def _scatter_gather_locked(
+        self,
+        tasks: List[_TaskSpec],
+        on_error: str,
+        use_cache: bool,
+        batch_span,
+        trace_id: Optional[str],
+    ) -> List[SearchResponse]:
         with self._workers_lock:
             workers: List[_Worker] = list(self._workers)
         n = len(workers)
@@ -506,6 +550,13 @@ class ProcessWorkerPool:
             results[spec.index] = response
             self._count("completed")
 
+        def open_row_span(spec: _TaskSpec, slot: int):
+            if batch_span is None:
+                return None
+            return batch_span.child(
+                "row", method=spec.query.method, worker=slot
+            )
+
         def feed(slot: int) -> None:
             """Keep sending ``slot`` its next task until one sticks."""
             while slot not in inflight:
@@ -516,7 +567,7 @@ class ProcessWorkerPool:
                 task_id = self._next_task_id()
                 worker = workers[slot]
                 deadline = deadline_seconds_for_config(spec.config)
-                if self._send_task(worker, spec, task_id, use_cache):
+                if self._send_task(worker, spec, task_id, use_cache, trace_id):
                     inflight[slot] = _Inflight(
                         spec=spec,
                         task_id=task_id,
@@ -525,6 +576,7 @@ class ProcessWorkerPool:
                             if deadline is not None
                             else None
                         ),
+                        span=open_row_span(spec, slot),
                     )
                     return
                 # Broken pipe at send: the worker died idle.  Respawn and
@@ -533,7 +585,9 @@ class ProcessWorkerPool:
                 self._count("crashes")
                 self._count_worker(worker, "crashes")
                 workers[slot] = self._replace_worker(worker)
-                if self._send_task(workers[slot], spec, task_id, use_cache):
+                if self._send_task(
+                    workers[slot], spec, task_id, use_cache, trace_id
+                ):
                     inflight[slot] = _Inflight(
                         spec=spec,
                         task_id=task_id,
@@ -542,6 +596,7 @@ class ProcessWorkerPool:
                             if deadline is not None
                             else None
                         ),
+                        span=open_row_span(spec, slot),
                     )
                     return
                 record_failure(
@@ -553,6 +608,8 @@ class ProcessWorkerPool:
             """The task in flight on ``slot`` is gone; its worker too."""
             entry = inflight.pop(slot)
             worker = workers[slot]
+            if entry.span is not None:
+                entry.span.annotate(error=counter).finish()
             self._count(counter)
             self._count_worker(worker, "crashes" if counter == "crashes" else "errors")
             workers[slot] = self._replace_worker(worker)
@@ -592,6 +649,9 @@ class ProcessWorkerPool:
                     self._count("stale_results")
                     continue
                 del inflight[slot]
+                if entry.span is not None:
+                    entry.span.attach_remote(reply.get("spans"))
+                    entry.span.finish()
                 if isinstance(reply.get("counters"), dict):
                     with self._counters_lock:
                         worker.engine_counters = dict(reply["counters"])

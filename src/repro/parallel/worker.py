@@ -53,10 +53,12 @@ from repro.exceptions import (
     UnknownMethodError,
     VertexNotFoundError,
 )
+from repro.obs.tracing import Trace
 from repro.parallel.shm import GraphHandle, attach_graph
 from repro.server.protocol import (
     decode_config,
     decode_query,
+    decode_trace_context,
     encode_response,
     json_dumps,
     json_loads,
@@ -138,7 +140,27 @@ def _counters(engine) -> Dict[str, int]:
 
 
 def _serve_search(engine, message: Dict[str, object]) -> Dict[str, object]:
-    """Run one search under its (already resolved) config and deadline."""
+    """Run one search under its (already resolved) config and deadline.
+
+    When the message carries a trace context (the parent has an active
+    trace), the search runs under a worker-local :class:`Trace` and the
+    resulting span tree rides back on the reply as ``spans`` — the parent
+    grafts it under the task's row span.  Without one, the reply stays
+    byte-identical to the untraced protocol.
+    """
+    request_id = decode_trace_context(message.get("trace"))
+    if request_id is None:
+        return _serve_search_untraced(engine, message)
+    trace = Trace(request_id, name="worker")
+    with trace:
+        reply = _serve_search_untraced(engine, message)
+    reply["spans"] = trace.span_payload()
+    return reply
+
+
+def _serve_search_untraced(
+    engine, message: Dict[str, object]
+) -> Dict[str, object]:
     query = decode_query(message["query"])
     config = decode_config(message.get("config"))
     use_cache = bool(message.get("use_cache", True))

@@ -10,10 +10,20 @@ Verb      Path                               Meaning
 GET       ``/healthz``                       liveness + uptime + schema versions
 GET       ``/graphs``                        names currently served
 GET       ``/stats``                         ``GraphDirectory.stats_payload()``
+GET       ``/metrics``                       Prometheus text exposition (0.0.4)
+GET       ``/debug/slow``                    retained slow-query traces (JSON)
 POST      ``/graphs/{name}/search``          one :class:`Query` → one response
 POST      ``/graphs/{name}/search_many``     a batch → position-aligned responses
 POST      ``/graphs/{name}/explain``         dispatch report, no search
 ========  =================================  =====================================
+
+Observability rides the :class:`repro.obs.Observability` bundle the
+directory carries (or a private one when the directory has none): every
+POST runs under ``tracer.trace(request_id)`` — a no-op until tracing is
+enabled — so span trees are keyed by the same ``X-Request-Id`` the access
+log and error payloads carry, and ``/metrics`` renders the unified
+registry (gateway admission counters included) for scrapers while
+``/stats`` keeps serving the same numbers as JSON.
 
 Two serving-tier policies live at this boundary:
 
@@ -67,6 +77,8 @@ from repro.exceptions import (
     VertexNotFoundError,
     http_status_for_response,
 )
+from repro.obs import Observability
+from repro.obs.metrics import Sample, counter_samples
 from repro.server.protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
@@ -208,6 +220,16 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
             {"error": message, "code": code, "request_id": self.request_id},
         )
 
+    def _send_text(self, status: int, body: str, content_type: str) -> int:
+        data = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.send_header("X-Request-Id", self.request_id)
+        self.end_headers()
+        self.wfile.write(data)
+        return status
+
     def _read_body(self) -> bytes:
         length_header = self.headers.get("Content-Length")
         try:
@@ -252,6 +274,16 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
                 )
             elif self.path == "/stats":
                 status = self._send_json(200, gateway.directory.stats_payload())
+            elif self.path == "/metrics":
+                status = self._send_text(
+                    200,
+                    gateway.observability.registry.render_prometheus(),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
+            elif self.path == "/debug/slow":
+                status = self._send_json(
+                    200, gateway.observability.slow_log.payload()
+                )
             else:
                 status = self._send_error_json(
                     404, "not-found", f"no such endpoint: {self.path}"
@@ -301,7 +333,13 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
             return
         try:
             gateway.count("requests")
-            status = self._serve_post(name, verb)
+            # A no-op until tracing is enabled; once on, the whole POST
+            # (routing, failover, kernels, even process-pool workers) hangs
+            # its spans off this request-id-keyed trace.
+            with gateway.observability.tracer.trace(
+                self.request_id, path=self.path
+            ):
+                status = self._serve_post(name, verb)
         except _ClientError as exc:
             status = self._send_error_json(exc.status, exc.code, str(exc))
         except AllReplicasEjectedError as exc:
@@ -511,6 +549,12 @@ class Gateway:
         Entries in the last-good-answer cache backing degraded mode
         (``0`` disables degraded answers entirely — all-replicas-down then
         always answers 503).
+    observability:
+        The :class:`repro.obs.Observability` bundle serving ``/metrics``,
+        ``/debug/slow`` and request tracing.  Defaults to the directory's
+        own bundle (``directory.observability``) so gateway counters land
+        in the same registry as engine counters; a directory without one
+        gets a private bundle (tracing off, defaults throughout).
     clock:
         Monotonic-seconds source for uptime reporting; injectable so
         deterministic tests can drive it (the BCC002 seam pattern).
@@ -532,6 +576,7 @@ class Gateway:
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
         fault_plan: Optional[object] = None,
         degraded_cache_size: int = DEFAULT_DEGRADED_CACHE_SIZE,
+        observability: Optional[Observability] = None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if max_in_flight < 1:
@@ -559,6 +604,14 @@ class Gateway:
             "degraded": 0,
             "unavailable": 0,
         }
+        if observability is None:
+            observability = getattr(directory, "observability", None)
+        if observability is None:
+            observability = Observability()
+        self.observability = observability
+        self.observability.registry.register_source(
+            "gateway", self._metric_samples
+        )
         self._clock = clock
         self._started_monotonic = clock()
         self._httpd = _GatewayHTTPServer((host, port), _GatewayRequestHandler)
@@ -595,6 +648,23 @@ class Gateway:
         """Gateway-level counters: requests served, 429 rejections, errors."""
         with self._gauge_lock:
             return dict(self._counters)
+
+    def _metric_samples(self):
+        """The gateway's rows in the unified metrics registry."""
+        samples = counter_samples(
+            "gateway",
+            self.counters_snapshot(),
+            help="gateway admission/serving counter",
+        )
+        samples.append(
+            Sample(
+                name="bcc_gateway_in_flight",
+                value=float(self.in_flight()),
+                kind="gauge",
+                help="POST requests currently being served",
+            )
+        )
+        return samples
 
     # ------------------------------------------------------------------
     # degraded mode (last-good-answer cache)

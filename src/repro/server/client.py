@@ -44,6 +44,7 @@ import socket
 import threading
 import time
 import urllib.parse
+import uuid
 from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.api.config import SearchConfig
@@ -189,14 +190,17 @@ class GatewayClient:
         self._drop_connection()
 
     def _exchange(
-        self, method: str, path: str, body: Optional[bytes]
+        self, method: str, path: str, body: Optional[bytes], request_id: str
     ) -> Tuple[int, Dict[str, str], bytes]:
         connection = self._connection()
         connection.request(
             method,
             path,
             body=body,
-            headers={"Content-Type": "application/json; charset=utf-8"},
+            headers={
+                "Content-Type": "application/json; charset=utf-8",
+                "X-Request-Id": request_id,
+            },
         )
         response = connection.getresponse()
         payload = response.read()  # drain fully so keep-alive stays in sync
@@ -206,16 +210,25 @@ class GatewayClient:
         return response.status, headers, payload
 
     def _request_once(
-        self, method: str, path: str, body: Optional[bytes]
+        self, method: str, path: str, body: Optional[bytes], request_id: str
     ) -> object:
+        return json_loads(self._raw_once(method, path, body, request_id))
+
+    def _raw_once(
+        self, method: str, path: str, body: Optional[bytes], request_id: str
+    ) -> bytes:
         try:
             try:
-                status, headers, raw = self._exchange(method, path, body)
+                status, headers, raw = self._exchange(
+                    method, path, body, request_id
+                )
             except (http.client.HTTPException, ConnectionError, BrokenPipeError):
                 # A stale keep-alive connection (server restarted, idle
                 # close): reconnect once, then report honestly.
                 self._drop_connection()
-                status, headers, raw = self._exchange(method, path, body)
+                status, headers, raw = self._exchange(
+                    method, path, body, request_id
+                )
         except (http.client.HTTPException, OSError) as exc:
             self._drop_connection()
             raise GatewayError(
@@ -223,7 +236,7 @@ class GatewayClient:
             ) from exc
         if status >= 400:
             raise self._http_error(status, headers, raw)
-        return json_loads(raw)
+        return raw
 
     def _request(
         self,
@@ -234,10 +247,15 @@ class GatewayClient:
     ) -> object:
         body = json_dumps(payload).encode("utf-8") if payload is not None else None
         policy = self.retry_policy
+        # One id per *logical* request, minted before the retry loop: every
+        # retry attempt (and the gateway-side trace, access-log line and
+        # error payload it produces) carries the same X-Request-Id, so an
+        # operator can see "this 503 and that success were one request".
+        request_id = uuid.uuid4().hex
         attempt = 0
         while True:
             try:
-                return self._request_once(method, path, body)
+                return self._request_once(method, path, body, request_id)
             except (GatewayOverloadedError, GatewayUnavailableError) as exc:
                 # Explicitly retryable: the server said "come back later".
                 if policy is None or attempt + 1 >= policy.max_attempts:
@@ -330,6 +348,20 @@ class GatewayClient:
     def stats(self) -> Dict[str, object]:
         """The whole-directory stats document (``GET /stats``)."""
         return self._request("GET", "/stats")  # type: ignore[return-value]
+
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition (``GET /metrics``), verbatim.
+
+        Returned as the raw UTF-8 body — a scraper's view, not JSON — and
+        never retried: a scrape is cheap and periodic, so a missed one is
+        cheaper than a delayed one.
+        """
+        raw = self._raw_once("GET", "/metrics", None, uuid.uuid4().hex)
+        return raw.decode("utf-8")
+
+    def debug_slow(self) -> Dict[str, object]:
+        """The slow-query log document (``GET /debug/slow``)."""
+        return self._request("GET", "/debug/slow")  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
     # serving surface (mirrors BCCEngine)

@@ -63,11 +63,13 @@ __all__ = [
     "decode_float",
     "decode_query",
     "decode_response",
+    "decode_trace_context",
     "encode_batch",
     "encode_config",
     "encode_float",
     "encode_query",
     "encode_response",
+    "encode_trace_context",
     "http_status_for_response",
     "jsonable",
     "json_dumps",
@@ -184,6 +186,31 @@ def encode_config(config: Optional[SearchConfig]) -> Optional[Dict[str, object]]
         else:
             payload[field.name] = value
     return payload
+
+
+def encode_trace_context(request_id: str) -> Dict[str, object]:
+    """The wire form of a trace context (today: just the request id).
+
+    Carried as an *optional* message field by the process-pool task
+    protocol — untraced messages omit it entirely, so the common case
+    stays byte-identical to protocol version 1 payloads.
+    """
+    if not isinstance(request_id, str) or not request_id:
+        raise ProtocolError("a trace context needs a non-empty request id")
+    return {"request_id": request_id}
+
+
+def decode_trace_context(payload: object) -> Optional[str]:
+    """The request id of a wire trace context (``None`` stays ``None``)."""
+    if payload is None:
+        return None
+    payload = _require_mapping(payload, "trace context")
+    request_id = payload.get("request_id")
+    if not isinstance(request_id, str) or not request_id:
+        raise ProtocolError(
+            "a trace context needs a non-empty string request_id"
+        )
+    return request_id
 
 
 def decode_config(payload: object) -> Optional[SearchConfig]:

@@ -56,6 +56,7 @@ from repro.api.query import BatchQuery, Query, SearchResponse
 from repro.eval.instrumentation import SearchInstrumentation
 from repro.exceptions import AllReplicasEjectedError
 from repro.graph.labeled_graph import LabeledGraph
+from repro.obs.tracing import span as obs_span
 from repro.server.resilience import HealthPolicy, ReplicaHealth
 from repro.serving.sharded import ShardedBCCEngine
 from repro.serving.stats import (
@@ -335,19 +336,20 @@ class ReplicaSet:
             health = self._health[replica_id]
             start = time.perf_counter()
             try:
-                if self._fault_plan is not None:
-                    self._fault_plan.on(
-                        "replica.search",
-                        replica=replica_id,
-                        method=query.method,
-                        vertices=query.vertices,
+                with obs_span("replica.search", replica=replica_id) as attempt:
+                    if self._fault_plan is not None:
+                        self._fault_plan.on(
+                            "replica.search",
+                            replica=replica_id,
+                            method=query.method,
+                            vertices=query.vertices,
+                        )
+                    response = self._engines[replica_id].search(
+                        query,
+                        config=config,
+                        instrumentation=instrumentation,
+                        use_cache=use_cache,
                     )
-                response = self._engines[replica_id].search(
-                    query,
-                    config=config,
-                    instrumentation=instrumentation,
-                    use_cache=use_cache,
-                )
             except BaseException as exc:
                 if is_caller_error(query, exc):
                     # Bad query, fine replica: no health verdict (beyond
@@ -355,6 +357,9 @@ class ReplicaSet:
                     # same query would fail identically everywhere.
                     health.record_neutral()
                     raise
+                # The finished attempt span records which replica failed
+                # (the failover retry opens its own span next iteration).
+                attempt.annotate(failed=True, error=type(exc).__name__)
                 health.record_failure()
                 with self._route_lock:
                     self._replica_failures += 1

@@ -29,6 +29,8 @@ from repro.api.query import BatchQuery, Query, SearchResponse
 from repro.datasets.registry import load_dataset
 from repro.exceptions import GraphNotFoundError
 from repro.graph.labeled_graph import LabeledGraph
+from repro.obs import Observability
+from repro.obs.metrics import Sample, counter_samples
 from repro.serving.sharded import ShardedBCCEngine
 from repro.serving.stats import (
     STATS_SCHEMA_VERSION,
@@ -66,6 +68,15 @@ class GraphDirectory:
     max_resident_shards:
         Default per-graph memory budget for sharded engines (LRU shard
         eviction; ``None`` = unbounded).  Overridable per :meth:`add`.
+    observability:
+        The :class:`repro.obs.Observability` bundle this directory reports
+        into (one is created when not given).  The directory registers a
+        ``"directory"`` metrics source over its own :meth:`stats` — every
+        engine/router/pool/store counter and the per-graph latency
+        histograms land in ``GET /metrics`` without any engine knowing the
+        registry exists — and :meth:`stats_payload` carries the bundle's
+        ``trace``/``metrics`` blocks.  Tracing stays off until
+        ``directory.observability.tracer.enable()``.
 
     All directory operations are thread-safe; the engines themselves are
     thread-safe by construction, so one directory can serve a whole
@@ -80,6 +91,7 @@ class GraphDirectory:
         result_cache_policy: Optional[object] = None,
         store: Optional[object] = None,
         max_resident_shards: Optional[int] = None,
+        observability: Optional[Observability] = None,
     ) -> None:
         self._config = config
         self._sharded_default = sharded
@@ -98,6 +110,12 @@ class GraphDirectory:
         self._latency: Dict[str, LatencyHistogram] = {}
         self._store_modes: Dict[str, str] = {}
         self._started_monotonic = time.monotonic()
+        if observability is None:
+            observability = Observability()
+        self.observability = observability
+        self.observability.registry.register_source(
+            "directory", self._metric_samples
+        )
 
     # ------------------------------------------------------------------
     # hosting
@@ -396,6 +414,86 @@ class GraphDirectory:
             summary["modes"] = dict(self._store_modes)
         return summary
 
+    def _metric_samples(self) -> List[Sample]:
+        """The ``"directory"`` rows of the unified metrics registry.
+
+        Built from the exact snapshots ``/stats`` serves (engine counters,
+        pool counters and per-worker rows, store counters, edge-latency
+        histograms), so ``GET /metrics`` and ``GET /stats`` agree by
+        construction — the integration tests assert counter-for-counter
+        equality between the two endpoints.
+        """
+        samples: List[Sample] = []
+        for name, snapshot in self.stats().items():
+            graph_labels = {"graph": name}
+            # Engine + router (+ replica set health/routing) counters: for
+            # replicated/sharded engines ``counters`` already aggregates
+            # per-member counters plus the serving-layer's own.
+            samples.extend(
+                counter_samples(
+                    "engine",
+                    snapshot.counters,
+                    labels=graph_labels,
+                    help="aggregated serving counters per graph",
+                )
+            )
+            samples.append(
+                Sample(
+                    name="bcc_graph_latency_seconds",
+                    labels=(("graph", name),),
+                    kind="histogram",
+                    help="directory-edge serving latency",
+                    histogram=snapshot.latency,
+                )
+            )
+            workers = snapshot.workers
+            if isinstance(workers, dict):
+                samples.extend(
+                    counter_samples(
+                        "pool",
+                        workers.get("counters", {}),  # type: ignore[arg-type]
+                        labels=graph_labels,
+                        help="process worker pool counters",
+                    )
+                )
+                for block in workers.get("workers", ()):  # type: ignore[union-attr]
+                    if not isinstance(block, dict):
+                        continue
+                    per_worker = {
+                        key: value
+                        for key, value in block.items()
+                        if key not in ("worker", "pid", "alive", "engine")
+                    }
+                    samples.extend(
+                        counter_samples(
+                            "pool_worker",
+                            per_worker,
+                            labels={
+                                "graph": name,
+                                "worker": block.get("worker", "?"),
+                            },
+                            help="per-worker-process pool counters",
+                        )
+                    )
+        store = self.store_summary()
+        if store is not None:
+            samples.extend(
+                counter_samples(
+                    "store",
+                    store.get("counters", {}),  # type: ignore[arg-type]
+                    help="snapshot store counters",
+                )
+            )
+        samples.append(
+            Sample(
+                name="bcc_directory_served_graphs",
+                value=float(len(self)),
+                kind="gauge",
+                help="graphs currently served by this directory",
+            )
+        )
+        return samples
+
     def stats_payload(self) -> Dict[str, object]:
         """The whole directory as one JSON-serializable stats document.
 
@@ -404,6 +502,9 @@ class GraphDirectory:
         ``uptime_seconds`` dates the process, so a scraper can tell a
         restarted server from a quiet one.  The full field-by-field schema
         is documented in the README's "Stats payload schema" section.
+        Schema version 2 added the ``trace`` and ``metrics`` blocks (the
+        observability bundle's tracer/slow-log state and metrics-registry
+        summary).
         """
         return {
             "schema_version": STATS_SCHEMA_VERSION,
@@ -414,6 +515,8 @@ class GraphDirectory:
             },
             "served_graphs": len(self),
             "store": self.store_summary(),
+            "trace": self.observability.trace_block(),
+            "metrics": self.observability.metrics_block(),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

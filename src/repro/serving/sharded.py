@@ -79,6 +79,7 @@ from repro.exceptions import (
 )
 from repro.graph.labeled_graph import LabeledGraph, Vertex
 from repro.graph.traversal import connected_components
+from repro.obs.tracing import span as obs_span
 from repro.serving.stats import (
     LatencyHistogram,
     ServingStats,
@@ -272,7 +273,8 @@ class ShardedBCCEngine:
                 return engine
         attached = built = persisted = False
         evicted = 0
-        with self._shards_lock:
+        with obs_span("sharded.shard_engine", shard=shard_id), \
+                self._shards_lock:
             engine = self._shards.get(shard_id)
             if engine is not None:
                 self._shards.move_to_end(shard_id)
@@ -383,25 +385,28 @@ class ShardedBCCEngine:
         empty — the method never runs, so its validation never sees it.
         """
         start = time.perf_counter()
-        self._check_version()
-        spec = get_method(query.method)  # unknown-method parity: raises here
-        shard_id = self._route(query)
-        if shard_id is None:
+        with obs_span("sharded.search", method=query.method) as routed:
+            self._check_version()
+            spec = get_method(query.method)  # unknown-method parity: raises here
+            shard_id = self._route(query)
+            if shard_id is None:
+                routed.annotate(cross_shard=True)
+                self._count("searches")
+                self._count("cross_shard_queries")
+                elapsed = time.perf_counter() - start
+                self._latency.observe(elapsed)
+                return self._cross_shard_response(query, spec.name, elapsed)
+            routed.annotate(shard=shard_id)
+            engine = self.shard_engine(shard_id)
+            response = engine.search(
+                query,
+                config=config,
+                instrumentation=instrumentation,
+                use_cache=use_cache,
+            )
             self._count("searches")
-            self._count("cross_shard_queries")
-            elapsed = time.perf_counter() - start
-            self._latency.observe(elapsed)
-            return self._cross_shard_response(query, spec.name, elapsed)
-        engine = self.shard_engine(shard_id)
-        response = engine.search(
-            query,
-            config=config,
-            instrumentation=instrumentation,
-            use_cache=use_cache,
-        )
-        self._count("searches")
-        self._latency.observe(time.perf_counter() - start)
-        return response
+            self._latency.observe(time.perf_counter() - start)
+            return response
 
     def search_many(
         self,

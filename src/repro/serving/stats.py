@@ -25,8 +25,9 @@ from repro.api.engine import ENGINE_COUNTER_NAMES, BCCEngine
 
 #: Version stamp of the stats-endpoint payload schema
 #: (``GraphDirectory.stats_payload`` / ``GET /stats``).  Bump when a field
-#: is renamed or removed; adding fields is backward compatible.
-STATS_SCHEMA_VERSION = 1
+#: is renamed or removed; adding fields is backward compatible.  Version 2
+#: added the top-level ``trace`` and ``metrics`` observability blocks.
+STATS_SCHEMA_VERSION = 2
 
 #: Half-decade log-scaled bucket upper bounds (seconds): 100µs .. 10s, plus
 #: an implicit overflow bucket.  Community searches on the evaluation

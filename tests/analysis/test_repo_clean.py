@@ -22,9 +22,9 @@ def _findings_over(*trees: str):
     return report.findings
 
 
-def test_all_five_rules_are_registered():
+def test_all_six_rules_are_registered():
     rules = [checker.rule for checker in all_checkers()]
-    assert rules == ["BCC001", "BCC002", "BCC003", "BCC004", "BCC005"]
+    assert rules == ["BCC001", "BCC002", "BCC003", "BCC004", "BCC005", "BCC006"]
 
 
 def test_src_has_zero_findings():

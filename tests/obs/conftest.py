@@ -1,0 +1,43 @@
+"""Shared fixtures for the observability suite: fake clocks, trace builders.
+
+Everything here runs on injected clocks (BCC002's whole point for the obs
+package): span durations are exact arithmetic on a counter the test
+advances, never wall clock.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.tracing import Trace
+
+
+class FakeClock:
+    """A monotonic counter the test advances by hand."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = float(start)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+@pytest.fixture
+def make_trace(clock):
+    """``make_trace(duration_ms)`` -> a finished fake-clock trace."""
+
+    def _make(duration_ms: float, request_id: str = "req") -> Trace:
+        trace = Trace(request_id, clock=clock)
+        with trace:
+            clock.advance(duration_ms / 1000.0)
+        return trace
+
+    return _make

@@ -1,0 +1,86 @@
+"""``python -m repro.obs`` CLI and the Observability bundle glue."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import Observability
+from repro.obs.__main__ import main
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.tracing import Trace
+
+
+def slow_document(clock):
+    """A ``/debug/slow``-shaped document with one deterministic trace."""
+    log = SlowQueryLog(threshold_ms=0.0)
+    trace = Trace("req-cli", clock=clock)
+    with trace:
+        with trace.root.child("engine.search", method="online-bcc"):
+            clock.advance(0.002)
+    log.offer(trace)
+    return log.payload()
+
+
+class TestCli:
+    def test_renders_slow_log_document_from_file(self, tmp_path, clock, capsys):
+        path = tmp_path / "slow.json"
+        path.write_text(json.dumps(slow_document(clock)), encoding="utf-8")
+        assert main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "slow-query log: 1 retained" in out
+        assert "threshold 0.0ms" in out
+        assert "request req-cli" in out
+        assert "engine.search" in out
+        assert "method='online-bcc'" in out
+
+    def test_accepts_bare_trace_and_list_shapes(self, tmp_path, clock, capsys):
+        document = slow_document(clock)
+        path = tmp_path / "one.json"
+        path.write_text(json.dumps(document["traces"][0]), encoding="utf-8")
+        assert main([str(path)]) == 0
+        assert "request req-cli" in capsys.readouterr().out
+
+        path.write_text(json.dumps(document["traces"]), encoding="utf-8")
+        assert main([str(path)]) == 0
+        assert "request req-cli" in capsys.readouterr().out
+
+    def test_limit_and_empty_document(self, tmp_path, clock, capsys):
+        document = slow_document(clock)
+        document["traces"] = []
+        document["retained"] = 0
+        path = tmp_path / "empty.json"
+        path.write_text(json.dumps(document), encoding="utf-8")
+        assert main([str(path), "--limit", "3"]) == 0
+        assert "no traces retained" in capsys.readouterr().out
+
+
+class TestObservabilityBundle:
+    def test_default_bundle_is_metrics_on_tracing_off(self):
+        obs = Observability()
+        assert not obs.tracer.enabled
+        block = obs.trace_block()
+        assert block["enabled"] is False
+        assert block["slow_retained"] == 0
+        assert block["counters"]["traces_started"] == 0
+        assert block["counters"]["slow_offered"] == 0
+
+    def test_bundle_wires_tracer_into_slow_log_and_registry(self, clock):
+        obs = Observability(trace=True, slow_threshold_ms=1.0, clock=clock)
+        with obs.tracer.trace("req-slow"):
+            clock.advance(0.010)
+        assert len(obs.slow_log) == 1
+        block = obs.trace_block()
+        assert block["counters"]["traces_retained"] == 1
+        assert block["counters"]["slow_retained"] == 1
+
+        text = obs.registry.render_prometheus()
+        assert "bcc_obs_tracer_traces_started_total 1" in text
+        assert "bcc_obs_slowlog_retained 1" in text
+        assert "bcc_obs_tracing_enabled 1" in text
+
+    def test_metrics_block_is_the_registry_snapshot(self):
+        obs = Observability()
+        block = obs.metrics_block()
+        assert "obs" in block["sources"]
+        assert block["series"] > 0
+        assert "bcc_obs_tracing_enabled" in block["names"]

@@ -1,0 +1,84 @@
+"""Slow-query log tests: threshold, ring eviction, payload shape."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.slowlog import SLOWLOG_COUNTER_NAMES, SlowQueryLog
+
+
+class TestThreshold:
+    def test_fast_traces_are_not_retained(self, make_trace):
+        log = SlowQueryLog(threshold_ms=5.0)
+        assert log.offer(make_trace(1.0)) is False
+        assert len(log) == 0
+        assert log.counters_snapshot() == {
+            "slow_offered": 1,
+            "slow_retained": 0,
+            "slow_evicted": 0,
+        }
+
+    def test_slow_traces_are_retained_as_documents(self, make_trace):
+        log = SlowQueryLog(threshold_ms=5.0)
+        trace = make_trace(9.0, request_id="slow-1")
+        assert log.offer(trace) is True
+        (entry,) = log.snapshot()
+        assert entry["request_id"] == "slow-1"
+        assert entry["duration_ms"] == pytest.approx(9.0)
+        assert entry["seq"] == 1
+        # The document is a detached copy, not the live trace object.
+        assert entry is not trace.to_dict()
+
+    def test_threshold_is_adjustable_at_runtime(self, make_trace):
+        log = SlowQueryLog(threshold_ms=1000.0)
+        assert log.offer(make_trace(9.0)) is False
+        log.set_threshold_ms(0.0)
+        assert log.offer(make_trace(0.0)) is True
+        assert log.threshold_ms == 0.0
+
+
+class TestRing:
+    def test_capacity_bounds_retention_and_counts_evictions(self, make_trace):
+        log = SlowQueryLog(threshold_ms=0.0, capacity=2)
+        for index in range(3):
+            log.offer(make_trace(1.0, request_id=f"req-{index}"))
+        assert len(log) == 2
+        counters = log.counters_snapshot()
+        assert counters["slow_retained"] == 3
+        assert counters["slow_evicted"] == 1
+        # Newest first; the oldest (req-0) was evicted.
+        assert [e["request_id"] for e in log.snapshot()] == ["req-2", "req-1"]
+        assert [e["seq"] for e in log.snapshot()] == [3, 2]
+
+    def test_snapshot_limit(self, make_trace):
+        log = SlowQueryLog(threshold_ms=0.0, capacity=8)
+        for index in range(4):
+            log.offer(make_trace(1.0, request_id=f"req-{index}"))
+        assert [e["request_id"] for e in log.snapshot(limit=2)] == [
+            "req-3",
+            "req-2",
+        ]
+        assert log.snapshot(limit=0) == []
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SlowQueryLog(capacity=0)
+
+    def test_clear_drops_entries_but_keeps_counters(self, make_trace):
+        log = SlowQueryLog(threshold_ms=0.0)
+        log.offer(make_trace(1.0))
+        log.clear()
+        assert len(log) == 0
+        assert log.counters_snapshot()["slow_retained"] == 1
+
+
+class TestPayload:
+    def test_debug_endpoint_document_shape(self, make_trace):
+        log = SlowQueryLog(threshold_ms=2.0, capacity=16)
+        log.offer(make_trace(3.0, request_id="kept"))
+        payload = log.payload()
+        assert payload["threshold_ms"] == 2.0
+        assert payload["capacity"] == 16
+        assert payload["retained"] == 1
+        assert set(payload["counters"]) == set(SLOWLOG_COUNTER_NAMES)
+        assert payload["traces"][0]["request_id"] == "kept"

@@ -61,7 +61,7 @@ class TestObservabilityEndpoints:
     def test_stats_is_the_directory_payload(self, client, paper_directory):
         client.search("paper", OK_QUERY)
         stats = client.stats()
-        assert stats["schema_version"] == 1
+        assert stats["schema_version"] == 2
         assert stats["served_graphs"] == 1
         assert stats["graphs"]["paper"]["kind"] == "monolithic"
         assert stats["graphs"]["paper"]["counters"]["searches"] >= 1
